@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Ablation: execution-window sensitivity. The paper does not specify
+ * the checkpoint-pool depth or total window size of its HPS core;
+ * DESIGN.md documents our defaults (64 checkpoints, 512-entry window).
+ * This sweep shows how the headline comparison (baseline vs
+ * promotion+packing) responds to those choices.
+ */
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Ablation", "Execution window sensitivity");
+
+    const std::vector<std::string> benchmarks = {"gcc", "compress",
+                                                 "tex"};
+
+    std::printf("%-10s %-8s %14s %14s %12s\n", "ckpts", "rob",
+                "baselineIPC", "promopackIPC", "fullWindow%");
+    for (const std::uint32_t checkpoints : {16u, 32u, 64u, 128u}) {
+        for (const std::uint32_t rob : {256u, 512u, 1024u}) {
+            double base_ipc = 0, both_ipc = 0, full_window = 0;
+            for (const std::string &bench : benchmarks) {
+                std::fprintf(stderr,
+                             "  running %-14s ckpt=%u rob=%u...\n",
+                             bench.c_str(), checkpoints, rob);
+                sim::ProcessorConfig base = sim::baselineConfig();
+                base.checkpoints = checkpoints;
+                base.robEntries = rob;
+                const sim::SimResult rb = runOne(bench, base);
+                base_ipc += rb.ipc;
+
+                sim::ProcessorConfig both =
+                    sim::promotionPackingConfig(64);
+                both.checkpoints = checkpoints;
+                both.robEntries = rob;
+                const sim::SimResult rp = runOne(bench, both);
+                both_ipc += rp.ipc;
+                std::uint64_t cycles = 0;
+                for (unsigned c = 0;
+                     c < static_cast<unsigned>(
+                             sim::CycleCategory::NumCategories);
+                     ++c)
+                    cycles += rp.cycleCat[c];
+                full_window +=
+                    100.0 *
+                    rp.cycleCat[static_cast<unsigned>(
+                        sim::CycleCategory::FullWindow)] /
+                    std::max<std::uint64_t>(cycles, 1);
+            }
+            const double n = static_cast<double>(benchmarks.size());
+            std::printf("%-10u %-8u %14.3f %14.3f %11.1f%%\n",
+                        checkpoints, rob, base_ipc / n, both_ipc / n,
+                        full_window / n);
+            std::fflush(stdout);
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Ablation: trace-cache path associativity. The paper's configurations
+ * store at most one segment per start address (section 3, citing
+ * Patel et al. [CSE-TR-335-97] for the alternative); this sweep
+ * enables multi-path storage with predictor-driven selection.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Ablation", "Trace-cache path associativity");
+
+    const std::vector<std::string> benchmarks = {"gcc", "go", "li",
+                                                 "gnuchess"};
+
+    const auto row = [&](const char *label, bool path_assoc,
+                         bool packing) {
+        sim::ProcessorConfig config =
+            packing ? sim::promotionPackingConfig(64)
+                    : sim::baselineConfig();
+        config.traceCache.pathAssociativity = path_assoc;
+        double rate = 0, hit = 0;
+        for (const std::string &bench : benchmarks) {
+            std::fprintf(stderr, "  running %-14s %s...\n", bench.c_str(),
+                         label);
+            const sim::SimResult r = runOne(bench, config);
+            rate += r.effectiveFetchRate;
+            hit += r.tcLookups
+                       ? static_cast<double>(r.tcHits) / r.tcLookups
+                       : 0.0;
+        }
+        const double n = static_cast<double>(benchmarks.size());
+        std::printf("%-34s %14.2f %12.1f%%\n", label, rate / n,
+                    100 * hit / n);
+        std::fflush(stdout);
+    };
+
+    std::printf("%-34s %14s %13s\n", "configuration", "avgEffFetch",
+                "avgTcHit");
+    row("baseline, no path assoc", false, false);
+    row("baseline, path assoc", true, false);
+    row("promo+pack, no path assoc", false, true);
+    row("promo+pack, path assoc", true, true);
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Ablation: static vs dynamic branch promotion. The paper's section 4
+ * notes promotion "can be done statically as well": no warm-up and
+ * better coverage of irregular-but-biased branches, at the cost of
+ * missing input-dependent bias changes. The static set here comes
+ * from an architectural profiling pass (profileStronglyBiased).
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+#include "workload/characterize.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Ablation", "Static vs dynamic branch promotion");
+
+    const std::vector<std::string> benchmarks = {"gcc", "compress",
+                                                 "vortex", "tex"};
+
+    std::printf("%-26s %13s %12s %10s %12s\n", "configuration",
+                "avgEffFetch", "mispred%", "faults", "promotedRet");
+
+    const auto row = [&](const char *label,
+                         const std::function<sim::ProcessorConfig(
+                             const std::string &)> &make) {
+        double rate = 0, mispred = 0, faults = 0, promoted = 0;
+        for (const std::string &bench : benchmarks) {
+            std::fprintf(stderr, "  running %-14s %s...\n", bench.c_str(),
+                         label);
+            const sim::SimResult r = runOne(bench, make(bench));
+            rate += r.effectiveFetchRate;
+            mispred += r.condMispredictRate;
+            faults += static_cast<double>(r.promotedFaults);
+            promoted += static_cast<double>(r.promotedRetired);
+        }
+        const double n = static_cast<double>(benchmarks.size());
+        std::printf("%-26s %13.2f %11.2f%% %10.0f %12.0f\n", label,
+                    rate / n, 100 * mispred / n, faults / n,
+                    promoted / n);
+        std::fflush(stdout);
+    };
+
+    row("baseline (none)", [](const std::string &) {
+        return sim::baselineConfig();
+    });
+    row("dynamic t=64", [](const std::string &) {
+        return sim::promotionConfig(64);
+    });
+    row("static (profiled)", [](const std::string &bench) {
+        sim::ProcessorConfig config = sim::promotionConfig(64);
+        config.name = "static-promotion";
+        config.fillUnit.promotion = false;
+        config.fillUnit.staticPromotion = true;
+        config.fillUnit.staticPromotions =
+            workload::profileStronglyBiased(programFor(bench), 400000);
+        return config;
+    });
+    row("static + dynamic", [](const std::string &bench) {
+        sim::ProcessorConfig config = sim::promotionConfig(64);
+        config.name = "static+dynamic";
+        config.fillUnit.staticPromotion = true;
+        config.fillUnit.staticPromotions =
+            workload::profileStronglyBiased(programFor(bench), 400000);
+        return config;
+    });
+    return 0;
+}

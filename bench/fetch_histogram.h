@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Shared printer for the fetch-width breakdown exhibits (Figures 4
+ * and 6): dynamic frequency of correct-path fetch sizes 0..16,
+ * decomposed by termination reason.
+ */
+
+#ifndef TCSIM_BENCH_FETCH_HISTOGRAM_H
+#define TCSIM_BENCH_FETCH_HISTOGRAM_H
+
+#include <cstdio>
+
+#include "sim/accounting.h"
+
+namespace tcsim::bench
+{
+
+inline void
+printFetchHistogram(const sim::SimResult &result)
+{
+    using sim::Accounting;
+    using sim::FetchReason;
+
+    std::uint64_t total = 0;
+    for (unsigned r = 0;
+         r < static_cast<unsigned>(FetchReason::NumReasons); ++r) {
+        for (unsigned w = 0; w <= Accounting::kMaxFetchWidth; ++w)
+            total += result.fetchHist[r][w];
+    }
+    if (total == 0) {
+        std::printf("(no useful fetches)\n");
+        return;
+    }
+
+    std::printf("%5s", "size");
+    for (unsigned r = 0;
+         r < static_cast<unsigned>(FetchReason::NumReasons); ++r) {
+        std::printf("%15s",
+                    sim::fetchReasonName(static_cast<FetchReason>(r)));
+    }
+    std::printf("%10s\n", "sum");
+
+    double weighted = 0;
+    for (unsigned w = 0; w <= Accounting::kMaxFetchWidth; ++w) {
+        std::printf("%5u", w);
+        std::uint64_t row = 0;
+        for (unsigned r = 0;
+             r < static_cast<unsigned>(FetchReason::NumReasons); ++r) {
+            const double frac =
+                static_cast<double>(result.fetchHist[r][w]) / total;
+            std::printf("%15.4f", frac);
+            row += result.fetchHist[r][w];
+        }
+        std::printf("%10.4f\n", static_cast<double>(row) / total);
+        weighted += static_cast<double>(w) * row / total;
+    }
+    std::printf("Ave fetch size %.2f\n", weighted);
+}
+
+} // namespace tcsim::bench
+
+#endif // TCSIM_BENCH_FETCH_HISTOGRAM_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Paper Figure 10: effective fetch rates for all five configurations
+ * — icache, baseline trace cache, packing only, promotion only, and
+ * promotion + packing — per benchmark.
+ */
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Figure 10", "Effective fetch rates for all techniques");
+
+    const auto metric = [](const sim::SimResult &r) {
+        return r.effectiveFetchRate;
+    };
+
+    const std::vector<double> icache =
+        sweepSuite(sim::icacheConfig(), metric);
+    const std::vector<double> base =
+        sweepSuite(sim::baselineConfig(), metric);
+    const std::vector<double> pack =
+        sweepSuite(sim::packingConfig(), metric);
+    const std::vector<double> promo =
+        sweepSuite(sim::promotionConfig(64), metric);
+    const std::vector<double> both =
+        sweepSuite(sim::promotionPackingConfig(64), metric);
+
+    printBenchmarkHeader("config");
+    printBenchmarkRow("icache", icache);
+    printBenchmarkRow("baseline", base);
+    printBenchmarkRow("packing", pack);
+    printBenchmarkRow("promotion", promo);
+    printBenchmarkRow("promotion+packing", both);
+    std::vector<double> change;
+    for (std::size_t i = 0; i < base.size(); ++i)
+        change.push_back(100.0 * (both[i] - base[i]) / base[i]);
+    printBenchmarkRow("both vs baseline %", change, 1);
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Paper Figure 11: overall performance (IPC) of the icache front end,
+ * the baseline trace cache, and promotion + cost-regulated packing,
+ * with the realistic (conservative-disambiguation) execution engine.
+ */
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Figure 11",
+                "IPC with the realistic execution engine");
+
+    const auto metric = [](const sim::SimResult &r) { return r.ipc; };
+
+    const std::vector<double> icache =
+        sweepSuite(sim::icacheConfig(), metric);
+    const std::vector<double> base =
+        sweepSuite(sim::baselineConfig(), metric);
+    const std::vector<double> both = sweepSuite(
+        sim::promotionPackingConfig(64,
+                                    trace::PackingPolicy::CostRegulated),
+        metric);
+
+    printBenchmarkHeader("config");
+    printBenchmarkRow("icache", icache);
+    printBenchmarkRow("baseline", base);
+    printBenchmarkRow("promotion,packing", both);
+    std::vector<double> change;
+    for (std::size_t i = 0; i < base.size(); ++i)
+        change.push_back(100.0 * (both[i] - base[i]) / base[i]);
+    printBenchmarkRow("both vs baseline %", change, 1);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Paper Figure 12: an accounting of all fetch cycles, per benchmark,
+ * for the promotion + cost-regulated packing configuration: Useful
+ * Fetch, Branch Misses, Cache Misses, Full Window, Traps, Misfetches.
+ */
+
+#include <cstdio>
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Figure 12",
+                "Fetch-cycle accounting, promotion + packing");
+
+    const sim::ProcessorConfig config = sim::promotionPackingConfig(
+        64, trace::PackingPolicy::CostRegulated);
+
+    std::printf("%-14s", "Benchmark");
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(sim::CycleCategory::NumCategories);
+         ++c) {
+        std::printf("%14s",
+                    sim::cycleCategoryName(
+                        static_cast<sim::CycleCategory>(c)));
+    }
+    std::printf("\n");
+
+    for (const std::string &bench : allBenchmarks()) {
+        std::fprintf(stderr, "  running %-14s...\n", bench.c_str());
+        const sim::SimResult r = runOne(bench, config);
+        std::uint64_t total = 0;
+        for (unsigned c = 0;
+             c < static_cast<unsigned>(sim::CycleCategory::NumCategories);
+             ++c)
+            total += r.cycleCat[c];
+        std::printf("%-14s", shortName(bench).c_str());
+        for (unsigned c = 0;
+             c < static_cast<unsigned>(sim::CycleCategory::NumCategories);
+             ++c) {
+            std::printf("%13.1f%%",
+                        100.0 * r.cycleCat[c] / std::max<std::uint64_t>(
+                                                    total, 1));
+        }
+        std::printf("\n");
+        std::fflush(stdout);
+    }
+    return 0;
+}

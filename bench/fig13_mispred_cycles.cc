@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Paper Figure 13: the percent change, relative to the baseline, in
+ * the number of fetch cycles lost to branch mispredictions under
+ * promotion + cost-regulated packing.
+ */
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Figure 13",
+                "Percent change in fetch cycles lost to mispredictions");
+
+    const auto metric = [](const sim::SimResult &r) {
+        return static_cast<double>(r.cycleCat[static_cast<unsigned>(
+            sim::CycleCategory::BranchMisses)]);
+    };
+    const std::vector<double> base =
+        sweepSuite(sim::baselineConfig(), metric);
+    const std::vector<double> both = sweepSuite(
+        sim::promotionPackingConfig(64,
+                                    trace::PackingPolicy::CostRegulated),
+        metric);
+
+    printBenchmarkHeader("");
+    std::vector<double> change;
+    for (std::size_t i = 0; i < base.size(); ++i)
+        change.push_back(100.0 * (both[i] - base[i]) / base[i]);
+    printBenchmarkRow("change %", change, 1);
+    return 0;
+}

@@ -1,0 +1,20 @@
+/**
+ * @file
+ * Paper Figure 4: the fetch width breakdown for gcc with the baseline
+ * 128 KB trace cache, annotated with the seven termination reasons.
+ */
+
+#include "bench/fetch_histogram.h"
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim::bench;
+    printBanner("Figure 4",
+                "Fetch width breakdown, gcc, baseline trace cache");
+    const tcsim::sim::SimResult result =
+        runOne("gcc", tcsim::sim::baselineConfig());
+    printFetchHistogram(result);
+    return 0;
+}

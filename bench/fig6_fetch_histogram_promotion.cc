@@ -1,0 +1,21 @@
+/**
+ * @file
+ * Paper Figure 6: the fetch width breakdown for gcc with branch
+ * promotion at threshold 64 — fewer fetches terminate at the maximum
+ * branch limit than in Figure 4.
+ */
+
+#include "bench/fetch_histogram.h"
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim::bench;
+    printBanner("Figure 6",
+                "Fetch width breakdown, gcc, promotion threshold 64");
+    const tcsim::sim::SimResult result =
+        runOne("gcc", tcsim::sim::promotionConfig(64));
+    printFetchHistogram(result);
+    return 0;
+}

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Paper Figure 7: the percent change, relative to the baseline, in the
+ * number of mispredicted conditional branches when branches are
+ * promoted at thresholds 64, 128 and 256 (promoted-branch faults count
+ * as mispredictions).
+ */
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Figure 7",
+                "Percent change in mispredicted conditional branches "
+                "under promotion");
+
+    const auto metric = [](const sim::SimResult &r) {
+        return static_cast<double>(r.condMispredicts);
+    };
+    const std::vector<double> base =
+        sweepSuite(sim::baselineConfig(), metric);
+
+    printBenchmarkHeader("threshold");
+    for (const std::uint32_t threshold : {64u, 128u, 256u}) {
+        const std::vector<double> promo =
+            sweepSuite(sim::promotionConfig(threshold), metric);
+        std::vector<double> change;
+        for (std::size_t i = 0; i < base.size(); ++i)
+            change.push_back(100.0 * (promo[i] - base[i]) / base[i]);
+        printBenchmarkRow("threshold=" + std::to_string(threshold),
+                          change, 1);
+    }
+    return 0;
+}

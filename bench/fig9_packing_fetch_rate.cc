@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Paper Figure 9: effective fetch rates with and without trace
+ * packing (no promotion), per benchmark, with the percent increase.
+ */
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Figure 9",
+                "Effective fetch rate, baseline vs trace packing");
+
+    const auto metric = [](const sim::SimResult &r) {
+        return r.effectiveFetchRate;
+    };
+    const std::vector<double> base =
+        sweepSuite(sim::baselineConfig(), metric);
+    const std::vector<double> pack =
+        sweepSuite(sim::packingConfig(), metric);
+
+    printBenchmarkHeader("config");
+    printBenchmarkRow("baseline", base);
+    printBenchmarkRow("packing", pack);
+    std::vector<double> change;
+    for (std::size_t i = 0; i < base.size(); ++i)
+        change.push_back(100.0 * (pack[i] - base[i]) / base[i]);
+    printBenchmarkRow("increase %", change, 1);
+    return 0;
+}

@@ -1,0 +1,119 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+namespace tcsim::bench
+{
+
+std::uint64_t
+instBudget(const workload::BenchmarkProfile &profile)
+{
+    if (const char *env = std::getenv("TCSIM_INSTS"))
+        return std::strtoull(env, nullptr, 10);
+    return profile.defaultMaxInsts;
+}
+
+const workload::Program &
+programFor(const std::string &name)
+{
+    static std::map<std::string, workload::Program> cache;
+    auto it = cache.find(name);
+    if (it == cache.end()) {
+        it = cache
+                 .emplace(name, workload::generateProgram(
+                                    workload::findProfile(name)))
+                 .first;
+    }
+    return it->second;
+}
+
+sim::SimResult
+runOne(const std::string &benchmark, const sim::ProcessorConfig &config)
+{
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile(benchmark);
+    sim::Processor proc(config, programFor(benchmark));
+    std::uint64_t warmup = 0;
+    if (const char *env = std::getenv("TCSIM_WARMUP"))
+        warmup = std::strtoull(env, nullptr, 10);
+    if (warmup > 0) {
+        proc.run(warmup);
+        proc.resetStats();
+    }
+    return proc.run(warmup + instBudget(profile));
+}
+
+std::string
+shortName(const std::string &benchmark)
+{
+    static const std::map<std::string, std::string> shorts = {
+        {"compress", "comp"},     {"m88ksim", "m88k"},
+        {"vortex", "vor"},        {"gnuchess", "ch"},
+        {"ghostscript", "gs"},    {"gnuplot", "plot"},
+        {"python", "py"},         {"sim-outorder", "ss"},
+    };
+    const auto it = shorts.find(benchmark);
+    return it != shorts.end() ? it->second : benchmark;
+}
+
+std::vector<std::string>
+allBenchmarks()
+{
+    std::vector<std::string> names;
+    for (const auto &profile : workload::benchmarkSuite())
+        names.push_back(profile.name);
+    return names;
+}
+
+void
+printBenchmarkHeader(const std::string &row_label)
+{
+    std::printf("%-26s", row_label.c_str());
+    for (const std::string &bench : allBenchmarks())
+        std::printf("%7s", shortName(bench).c_str());
+    std::printf("%7s\n", "avg");
+}
+
+void
+printBenchmarkRow(const std::string &label,
+                  const std::vector<double> &values, int precision)
+{
+    std::printf("%-26s", label.c_str());
+    double sum = 0;
+    for (const double value : values) {
+        std::printf("%7.*f", precision, value);
+        sum += value;
+    }
+    std::printf("%7.*f\n", precision,
+                values.empty() ? 0.0 : sum / values.size());
+    std::fflush(stdout);
+}
+
+std::vector<double>
+sweepSuite(const sim::ProcessorConfig &config,
+           const std::function<double(const sim::SimResult &)> &metric)
+{
+    std::vector<double> values;
+    for (const std::string &bench : allBenchmarks()) {
+        std::fprintf(stderr, "  running %-14s %s...\n", bench.c_str(),
+                     config.name.c_str());
+        values.push_back(metric(runOne(bench, config)));
+    }
+    return values;
+}
+
+void
+printBanner(const std::string &exhibit, const std::string &what)
+{
+    std::printf("==============================================================================\n");
+    std::printf("%s: %s\n", exhibit.c_str(), what.c_str());
+    std::printf("(Patel, Evers, Patt, ISCA 1998 -- reproduced on synthetic workloads;\n");
+    std::printf(" absolute numbers differ from the paper, shapes should match. See\n");
+    std::printf(" EXPERIMENTS.md. Scale with TCSIM_INSTS=<n>.)\n");
+    std::printf("==============================================================================\n");
+    std::fflush(stdout);
+}
+
+} // namespace tcsim::bench

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Shared harness for the experiment binaries: one runner per
+ * (benchmark, configuration) pair plus fixed-width table printing in
+ * the paper's row/series shapes.
+ *
+ * Every binary accepts the TCSIM_INSTS environment variable to scale
+ * the per-benchmark instruction budget (default: each profile's
+ * defaultMaxInsts, 2M).
+ */
+
+#ifndef TCSIM_BENCH_HARNESS_H
+#define TCSIM_BENCH_HARNESS_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/processor.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace tcsim::bench
+{
+
+/** @return the instruction budget for @p profile (env-overridable). */
+std::uint64_t instBudget(const workload::BenchmarkProfile &profile);
+
+/** Generate and cache the program for @p name (per-process cache). */
+const workload::Program &programFor(const std::string &name);
+
+/** Run one (benchmark, config) pair to its budget. */
+sim::SimResult runOne(const std::string &benchmark,
+                      const sim::ProcessorConfig &config);
+
+/** Short column label for a benchmark (paper-style). */
+std::string shortName(const std::string &benchmark);
+
+/** All benchmark names in suite order. */
+std::vector<std::string> allBenchmarks();
+
+/** Print a table header: first column @p row_label then benchmarks. */
+void printBenchmarkHeader(const std::string &row_label);
+
+/** Print one row of per-benchmark values plus the arithmetic mean. */
+void printBenchmarkRow(const std::string &label,
+                       const std::vector<double> &values, int precision = 2);
+
+/**
+ * Run @p config across the whole suite, printing progress to stderr,
+ * and return one value per benchmark via @p metric.
+ */
+std::vector<double>
+sweepSuite(const sim::ProcessorConfig &config,
+           const std::function<double(const sim::SimResult &)> &metric);
+
+/** Banner identifying which paper exhibit a binary regenerates. */
+void printBanner(const std::string &exhibit, const std::string &what);
+
+} // namespace tcsim::bench
+
+#endif // TCSIM_BENCH_HARNESS_H

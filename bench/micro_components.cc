@@ -1,0 +1,128 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot simulator components:
+ * cache lookups, multiple-branch prediction, fill-unit throughput,
+ * functional execution, and whole-processor simulation speed.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "bpred/multi.h"
+#include "memory/cache.h"
+#include "sim/processor.h"
+#include "trace/fill_unit.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace
+{
+
+using namespace tcsim;
+
+const workload::Program &
+compressProgram()
+{
+    static const workload::Program program =
+        workload::generateProgram(workload::findProfile("compress"));
+    return program;
+}
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    memory::Cache cache(memory::CacheParams{"l1", 64 * 1024, 4, 64, 0},
+                        nullptr, 50);
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(addr, false));
+        addr = (addr + 4096 + 64) & 0xfffff;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_TreeMbpPredict(benchmark::State &state)
+{
+    bpred::TreeMbp mbp;
+    std::uint64_t hist = 0x123456789abcdefULL;
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mbp.predict(pc, hist, 0, 0));
+        hist = hist * 6364136223846793005ULL + 1;
+        pc += 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TreeMbpPredict);
+
+void
+BM_SplitMbpPredict(benchmark::State &state)
+{
+    bpred::SplitMbp mbp;
+    std::uint64_t hist = 0x123456789abcdefULL;
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mbp.predict(pc, hist, 0, 0));
+        hist = hist * 6364136223846793005ULL + 1;
+        pc += 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SplitMbpPredict);
+
+void
+BM_FillUnitThroughput(benchmark::State &state)
+{
+    trace::TraceCache cache(trace::TraceCacheParams{2048, 4});
+    trace::FillUnitParams params;
+    params.packing = trace::PackingPolicy::Unregulated;
+    params.promotion = true;
+    trace::FillUnit unit(params, cache);
+
+    trace::RetiredInst alu;
+    alu.inst = isa::Instruction{isa::Opcode::Add, 10, 11, 12, 0};
+    trace::RetiredInst br;
+    br.inst = isa::Instruction{isa::Opcode::Bne, 0, 4, 0, 8};
+    br.taken = true;
+
+    Addr pc = 0x1000;
+    unsigned i = 0;
+    for (auto _ : state) {
+        trace::RetiredInst inst = (++i % 6 == 0) ? br : alu;
+        inst.pc = pc;
+        pc = (pc + 4) & 0xffff;
+        unit.retire(inst);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FillUnitThroughput);
+
+void
+BM_FunctionalExecution(benchmark::State &state)
+{
+    workload::FunctionalExecutor exec(compressProgram());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(exec.step());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FunctionalExecution);
+
+void
+BM_ProcessorSimulation(benchmark::State &state)
+{
+    // Whole-machine simulation speed in retired instructions/second.
+    for (auto _ : state) {
+        sim::Processor proc(sim::promotionPackingConfig(),
+                            compressProgram());
+        proc.run(20000);
+        benchmark::DoNotOptimize(proc.retiredInsts());
+        state.SetItemsProcessed(
+            static_cast<std::int64_t>(proc.retiredInsts()));
+    }
+}
+BENCHMARK(BM_ProcessorSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Paper Table 2: the average effective fetch rate with and without
+ * branch promotion, sweeping the promotion threshold over
+ * {8, 16, 32, 64, 128, 256}, plus the icache and baseline references.
+ */
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Table 2",
+                "Average effective fetch rate vs promotion threshold");
+
+    const auto metric = [](const sim::SimResult &r) {
+        return r.effectiveFetchRate;
+    };
+    const auto average = [](const std::vector<double> &v) {
+        return std::accumulate(v.begin(), v.end(), 0.0) / v.size();
+    };
+
+    std::printf("%-22s %22s\n", "Configuration", "Ave effective fetch rate");
+    std::printf("%-22s %22.2f\n", "icache",
+                average(sweepSuite(sim::icacheConfig(), metric)));
+    std::printf("%-22s %22.2f\n", "baseline",
+                average(sweepSuite(sim::baselineConfig(), metric)));
+    for (const std::uint32_t threshold : {8u, 16u, 32u, 64u, 128u, 256u}) {
+        const std::string label =
+            "threshold = " + std::to_string(threshold);
+        std::printf("%-22s %22.2f\n", label.c_str(),
+                    average(sweepSuite(sim::promotionConfig(threshold),
+                                       metric)));
+        std::fflush(stdout);
+    }
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Paper Table 3: the number of dynamic branch predictions required
+ * each fetch cycle (0-or-1 / 2 / 3), averaged over all benchmarks,
+ * for the baseline and for promotion at threshold 64.
+ */
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Table 3", "Predictions required each fetch cycle");
+
+    const auto row = [&](const sim::ProcessorConfig &config,
+                         const char *label) {
+        double c01 = 0, c2 = 0, c3 = 0;
+        const auto benchmarks = allBenchmarks();
+        for (const std::string &bench : benchmarks) {
+            std::fprintf(stderr, "  running %-14s %s...\n", bench.c_str(),
+                         config.name.c_str());
+            const sim::SimResult r = runOne(bench, config);
+            c01 += r.fetchesNeeding01;
+            c2 += r.fetchesNeeding2;
+            c3 += r.fetchesNeeding3;
+        }
+        const double n = static_cast<double>(benchmarks.size());
+        std::printf("%-18s %14.0f%% %14.0f%% %14.0f%%\n", label,
+                    100 * c01 / n, 100 * c2 / n, 100 * c3 / n);
+        std::fflush(stdout);
+    };
+
+    std::printf("%-18s %15s %15s %15s\n", "Configuration",
+                "0 or 1 preds", "2 preds", "3 preds");
+    row(sim::baselineConfig(), "baseline");
+    row(sim::promotionConfig(64), "threshold = 64");
+    return 0;
+}

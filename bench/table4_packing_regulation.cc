@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Paper Table 4: the cost of trace packing's redundancy — percent
+ * increase in instruction-cache miss cycles of each packing variant
+ * (unregulated, cost-regulated, n=2, n=4; all with promotion at 64)
+ * over the promotion-only configuration, for the six benchmarks that
+ * suffer significant cache misses, plus the suite-average effective
+ * fetch rate of each variant.
+ */
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench/harness.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using namespace tcsim::bench;
+
+    printBanner("Table 4",
+                "Percent increase in cache miss cycles of packing over "
+                "promotion-only");
+
+    const std::vector<std::string> miss_heavy = {
+        "gcc", "go", "vortex", "ghostscript", "python", "tex"};
+
+    const auto miss_cycles = [](const sim::SimResult &r) {
+        return static_cast<double>(r.cycleCat[static_cast<unsigned>(
+            sim::CycleCategory::CacheMisses)]);
+    };
+
+    struct Variant
+    {
+        const char *label;
+        sim::ProcessorConfig config;
+    };
+    const std::vector<Variant> variants = {
+        {"unreg", sim::promotionPackingConfig(
+                      64, trace::PackingPolicy::Unregulated)},
+        {"cost-reg", sim::promotionPackingConfig(
+                         64, trace::PackingPolicy::CostRegulated)},
+        {"n=2", sim::promotionPackingConfig(
+                    64, trace::PackingPolicy::NRegulated, 2)},
+        {"n=4", sim::promotionPackingConfig(
+                    64, trace::PackingPolicy::NRegulated, 4)},
+    };
+
+    // Reference: promotion only.
+    std::vector<double> ref;
+    for (const std::string &bench : miss_heavy) {
+        std::fprintf(stderr, "  running %-14s promotion-only...\n",
+                     bench.c_str());
+        ref.push_back(miss_cycles(runOne(bench, sim::promotionConfig(64))));
+    }
+
+    std::printf("%-14s", "Benchmark");
+    for (const Variant &v : variants)
+        std::printf("%10s", v.label);
+    std::printf("\n");
+
+    std::vector<std::vector<double>> increases(variants.size());
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        for (std::size_t bi = 0; bi < miss_heavy.size(); ++bi) {
+            std::fprintf(stderr, "  running %-14s %s...\n",
+                         miss_heavy[bi].c_str(),
+                         variants[vi].config.name.c_str());
+            const double cycles =
+                miss_cycles(runOne(miss_heavy[bi], variants[vi].config));
+            increases[vi].push_back(
+                ref[bi] == 0 ? 0.0
+                             : 100.0 * (cycles - ref[bi]) / ref[bi]);
+        }
+    }
+    for (std::size_t bi = 0; bi < miss_heavy.size(); ++bi) {
+        std::printf("%-14s", shortName(miss_heavy[bi]).c_str());
+        for (std::size_t vi = 0; vi < variants.size(); ++vi)
+            std::printf("%9.1f%%", increases[vi][bi]);
+        std::printf("\n");
+    }
+    std::fflush(stdout);
+
+    // Suite-average effective fetch rate per variant.
+    const auto fetch_rate = [](const sim::SimResult &r) {
+        return r.effectiveFetchRate;
+    };
+    std::printf("%-14s", "AveEffFetch");
+    for (const Variant &v : variants) {
+        const std::vector<double> rates = sweepSuite(v.config, fetch_rate);
+        std::printf("%10.2f",
+                    std::accumulate(rates.begin(), rates.end(), 0.0) /
+                        rates.size());
+        std::fflush(stdout);
+    }
+    std::printf("\n");
+    return 0;
+}

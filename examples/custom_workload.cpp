@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Custom workload: build a µRISC program by hand with ProgramBuilder
+ * — a checksum kernel with an error-check branch that never fires —
+ * then measure how branch promotion and trace packing treat it.
+ * Demonstrates the full public API surface: builder, functional
+ * executor, and processor.
+ */
+
+#include <cstdio>
+
+#include "sim/processor.h"
+#include "workload/builder.h"
+#include "workload/executor.h"
+
+int
+main()
+{
+    using namespace tcsim;
+    using workload::Label;
+
+    // --------------------------------------------------------------
+    // Build the kernel: checksum over a 4 KB table, with a never-firing
+    // error check in the loop body (a classic promotion candidate) and
+    // a hot latch.
+    // --------------------------------------------------------------
+    workload::ProgramBuilder kb("checksum-kernel");
+    const Addr kdata = kb.allocData(4096);
+    for (unsigned w = 0; w < 512; ++w)
+        kb.setData(kdata + 8 * w, 0x9e3779b97f4a7c15ULL * (w + 1));
+
+    kb.loadImm64(5, static_cast<std::uint32_t>(kdata));
+    kb.addi(4, 0, 0);    // checksum
+    kb.addi(9, 0, 800);  // outer repetitions
+    Label kouter = kb.here();
+    kb.addi(3, 0, 500);  // inner trip
+    kb.add(6, 5, 0);     // cursor = base
+    Label ktop = kb.here();
+    kb.ld(7, 0, 6);            // value = *cursor
+    kb.xor_(4, 4, 7);          // checksum ^= value
+    kb.slli(8, 4, 3);
+    kb.add(4, 4, 8);           // mix
+    Label kskip = kb.newLabel();
+    kb.bne(0, 0, kskip);       // error check: never taken
+    kb.addi(4, 4, 1);          // (dead) error path
+    kb.bind(kskip);
+    kb.addi(6, 6, 8);          // cursor += 8
+    kb.addi(3, 3, -1);
+    kb.bne(3, 0, ktop);        // hot latch: promotable
+    kb.addi(9, 9, -1);
+    kb.bne(9, 0, kouter);
+    kb.halt();
+    workload::Program program = kb.build();
+
+    // --------------------------------------------------------------
+    // Check the kernel architecturally first.
+    // --------------------------------------------------------------
+    workload::FunctionalExecutor golden(program);
+    const std::uint64_t budget = 600000;
+    while (!golden.halted() && golden.instCount() < budget)
+        golden.step();
+    std::printf("kernel: %llu architectural instructions, checksum=%llx\n",
+                static_cast<unsigned long long>(golden.instCount()),
+                static_cast<unsigned long long>(golden.reg(4)));
+
+    // --------------------------------------------------------------
+    // Measure the paper's techniques on it.
+    // --------------------------------------------------------------
+    for (const sim::ProcessorConfig &config :
+         {sim::baselineConfig(), sim::promotionConfig(64),
+          sim::promotionPackingConfig(64)}) {
+        sim::Processor proc(config, program);
+        const sim::SimResult r = proc.run(400000);
+        std::printf("%-26s effFetch=%5.2f IPC=%5.2f promoted=%llu "
+                    "faults=%llu\n",
+                    r.config.c_str(), r.effectiveFetchRate, r.ipc,
+                    static_cast<unsigned long long>(r.promotedRetired),
+                    static_cast<unsigned long long>(r.promotedFaults));
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fetch bandwidth study: the paper's five front-end configurations on
+ * one benchmark, with the fetch-width histogram of the best one —
+ * the experiment a front-end architect would run first.
+ *
+ *   ./fetch_bandwidth_study [benchmark] [max_insts]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "sim/processor.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace tcsim;
+
+    const std::string bench = argc > 1 ? argv[1] : "gcc";
+    const std::uint64_t max_insts =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 500000;
+
+    workload::Program program =
+        workload::generateProgram(workload::findProfile(bench));
+
+    const std::vector<sim::ProcessorConfig> configs = {
+        sim::icacheConfig(),
+        sim::baselineConfig(),
+        sim::packingConfig(),
+        sim::promotionConfig(64),
+        sim::promotionPackingConfig(64),
+    };
+
+    std::printf("%-26s %9s %7s %9s %8s %8s\n", "configuration",
+                "effFetch", "IPC", "mispred%", "preds<=1", "tcHit%");
+    sim::SimResult best;
+    for (const sim::ProcessorConfig &config : configs) {
+        sim::Processor proc(config, program);
+        const sim::SimResult r = proc.run(max_insts);
+        std::printf("%-26s %9.2f %7.2f %8.2f%% %7.0f%% %7.1f%%\n",
+                    r.config.c_str(), r.effectiveFetchRate, r.ipc,
+                    100 * r.condMispredictRate,
+                    100 * r.fetchesNeeding01,
+                    r.tcLookups ? 100.0 * r.tcHits / r.tcLookups : 0.0);
+        best = r;
+    }
+
+    std::printf("\nFetch-size distribution, %s (correct-path fetches):\n",
+                best.config.c_str());
+    std::uint64_t total = 0;
+    std::uint64_t by_width[sim::Accounting::kMaxFetchWidth + 1] = {};
+    for (unsigned r = 0;
+         r < static_cast<unsigned>(sim::FetchReason::NumReasons); ++r) {
+        for (unsigned w = 0; w <= sim::Accounting::kMaxFetchWidth; ++w) {
+            by_width[w] += best.fetchHist[r][w];
+            total += best.fetchHist[r][w];
+        }
+    }
+    for (unsigned w = 1; w <= sim::Accounting::kMaxFetchWidth; ++w) {
+        const double frac =
+            total ? static_cast<double>(by_width[w]) / total : 0.0;
+        std::printf("%4u | %-50.*s %.3f\n", w,
+                    static_cast<int>(frac * 250),
+                    "##################################################",
+                    frac);
+    }
+    return 0;
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Runs every experiment binary, teeing combined output.
+cd /root/repo
+: > bench_output.txt
+for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] || continue
+    name=$(basename "$b")
+    echo "### $name" | tee -a bench_output.txt
+    "$b" 2>>bench_stderr.log | tee -a bench_output.txt
+    echo | tee -a bench_output.txt
+done
+echo "ALL BENCHES COMPLETE"

@@ -1,0 +1,79 @@
+#include "bpred/bias_table.h"
+
+#include "common/bitutils.h"
+#include "common/log.h"
+#include "isa/instruction.h"
+
+namespace tcsim::bpred
+{
+
+BranchBiasTable::BranchBiasTable(const BiasTableParams &params)
+    : params_(params)
+{
+    TCSIM_ASSERT(isPowerOf2(params_.entries));
+    TCSIM_ASSERT(params_.promoteThreshold >= 1);
+    TCSIM_ASSERT(params_.counterMax >= params_.promoteThreshold);
+    entries_.resize(params_.entries);
+}
+
+std::uint32_t
+BranchBiasTable::indexOf(Addr pc) const
+{
+    return static_cast<std::uint32_t>((pc / isa::kInstBytes) &
+                                      (params_.entries - 1));
+}
+
+Addr
+BranchBiasTable::tagOf(Addr pc) const
+{
+    return (pc / isa::kInstBytes) / params_.entries;
+}
+
+void
+BranchBiasTable::update(Addr pc, bool taken)
+{
+    Entry &entry = entries_[indexOf(pc)];
+    const Addr tag = tagOf(pc);
+
+    if (entry.tag != tag) {
+        // Miss: the displaced branch loses any promoted status.
+        entry.tag = tag;
+        entry.lastOutcome = taken;
+        entry.count = 1;
+        entry.promoted = false;
+        entry.promotedDir = false;
+        return;
+    }
+
+    if (entry.lastOutcome == taken) {
+        if (entry.count < params_.counterMax)
+            ++entry.count;
+    } else {
+        entry.lastOutcome = taken;
+        entry.count = 1;
+    }
+
+    if (!entry.promoted && entry.count >= params_.promoteThreshold) {
+        entry.promoted = true;
+        entry.promotedDir = taken;
+        ++promotions_;
+    } else if (entry.promoted && taken != entry.promotedDir &&
+               entry.count >= 2) {
+        entry.promoted = false;
+        ++demotions_;
+    }
+}
+
+PromotionAdvice
+BranchBiasTable::advice(Addr pc) const
+{
+    const Entry &entry = entries_[indexOf(pc)];
+    PromotionAdvice result;
+    if (entry.tag == tagOf(pc) && entry.promoted) {
+        result.promote = true;
+        result.direction = entry.promotedDir;
+    }
+    return result;
+}
+
+} // namespace tcsim::bpred

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * The branch bias table that drives branch promotion (paper Figure 5).
+ *
+ * A tagged, direct-mapped table indexed by branch address. Each entry
+ * records the branch's previous outcome and an n-bit saturating count
+ * of consecutive identical outcomes, plus the sticky promoted state:
+ *
+ *  - a branch is promoted once its consecutive-outcome count reaches
+ *    the threshold;
+ *  - a promoted branch is demoted when two or more consecutive
+ *    outcomes land in the other direction, or on a bias-table miss
+ *    (so a single off-direction outcome — a loop's final iteration —
+ *    does not demote an otherwise strongly biased branch).
+ */
+
+#ifndef TCSIM_BPRED_BIAS_TABLE_H
+#define TCSIM_BPRED_BIAS_TABLE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace tcsim::bpred
+{
+
+/** Configuration for the bias table. */
+struct BiasTableParams
+{
+    std::uint32_t entries = 8192;
+    /** Consecutive-outcome count that triggers promotion. */
+    std::uint32_t promoteThreshold = 64;
+    /** Saturation limit of the consecutive counter. */
+    std::uint32_t counterMax = 1023;
+};
+
+/** Promotion advice for one branch site. */
+struct PromotionAdvice
+{
+    bool promote = false;
+    bool direction = false; // true = taken
+};
+
+/** The tagged branch bias table. */
+class BranchBiasTable
+{
+  public:
+    explicit BranchBiasTable(const BiasTableParams &params);
+
+    /**
+     * Record a retired conditional branch outcome and refresh the
+     * site's promoted state.
+     */
+    void update(Addr pc, bool taken);
+
+    /**
+     * @return whether the fill unit should embed this branch as
+     * promoted, and in which direction. Consulted when the branch is
+     * added to the pending segment (at retire).
+     */
+    PromotionAdvice advice(Addr pc) const;
+
+    std::uint64_t promotions() const { return promotions_; }
+    std::uint64_t demotions() const { return demotions_; }
+
+    void
+    dumpStats(StatDump &dump) const
+    {
+        dump.add("bias_table.promotions",
+                 static_cast<double>(promotions_));
+        dump.add("bias_table.demotions", static_cast<double>(demotions_));
+    }
+
+  private:
+    struct Entry
+    {
+        Addr tag = kInvalidAddr;
+        bool lastOutcome = false;
+        std::uint32_t count = 0;
+        bool promoted = false;
+        bool promotedDir = false;
+    };
+
+    std::uint32_t indexOf(Addr pc) const;
+    Addr tagOf(Addr pc) const;
+
+    BiasTableParams params_;
+    std::vector<Entry> entries_;
+    std::uint64_t promotions_ = 0;
+    std::uint64_t demotions_ = 0;
+};
+
+} // namespace tcsim::bpred
+
+#endif // TCSIM_BPRED_BIAS_TABLE_H

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Global branch history register with snapshot/restore for speculative
+ * update and checkpoint repair.
+ */
+
+#ifndef TCSIM_BPRED_HISTORY_H
+#define TCSIM_BPRED_HISTORY_H
+
+#include <cstdint>
+
+namespace tcsim::bpred
+{
+
+/**
+ * A shift register of branch outcomes, most recent in bit 0.
+ *
+ * The fetch engine updates it speculatively with predicted (or
+ * promoted-static) outcomes; recovery restores the value captured in
+ * the faulting branch's checkpoint.
+ */
+class GlobalHistory
+{
+  public:
+    /** Shift in one outcome (true = taken). */
+    void
+    push(bool taken)
+    {
+        bits_ = (bits_ << 1) | static_cast<std::uint64_t>(taken);
+    }
+
+    /** @return the raw history bits. */
+    std::uint64_t value() const { return bits_; }
+
+    /** Restore a previously captured value. */
+    void restore(std::uint64_t bits) { bits_ = bits; }
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace tcsim::bpred
+
+#endif // TCSIM_BPRED_HISTORY_H

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Return address stack with checkpoint repair.
+ *
+ * The paper models an ideal RAS. We implement a speculatively
+ * maintained stack that is repaired on recovery by restoring (depth,
+ * top-entry); with unbounded depth this is correct in practice — any
+ * residual corruption shows up as a (rare) return misfetch rather
+ * than being silently ignored.
+ */
+
+#ifndef TCSIM_BPRED_RAS_H
+#define TCSIM_BPRED_RAS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace tcsim::bpred
+{
+
+/** A checkpointable return address stack. */
+class ReturnAddressStack
+{
+  public:
+    /** @param max_depth 0 means unbounded (the paper's ideal model). */
+    explicit ReturnAddressStack(std::uint32_t max_depth = 0)
+        : maxDepth_(max_depth)
+    {
+    }
+
+    /** State captured at a checkpoint. */
+    struct Checkpoint
+    {
+        std::uint32_t depth = 0;
+        Addr top = kInvalidAddr;
+    };
+
+    /** Push a return address (at a call's fetch). */
+    void
+    push(Addr addr)
+    {
+        if (maxDepth_ != 0 && stack_.size() >= maxDepth_)
+            stack_.erase(stack_.begin());
+        stack_.push_back(addr);
+    }
+
+    /** Pop the predicted return target (at a return's fetch). */
+    Addr
+    pop()
+    {
+        if (stack_.empty())
+            return kInvalidAddr;
+        const Addr addr = stack_.back();
+        stack_.pop_back();
+        return addr;
+    }
+
+    /** @return the current depth. */
+    std::uint32_t depth() const
+    {
+        return static_cast<std::uint32_t>(stack_.size());
+    }
+
+    /** Capture repair state. */
+    Checkpoint
+    snapshot() const
+    {
+        Checkpoint cp;
+        cp.depth = depth();
+        cp.top = stack_.empty() ? kInvalidAddr : stack_.back();
+        return cp;
+    }
+
+    /** Repair to a previously captured state. */
+    void
+    restore(const Checkpoint &cp)
+    {
+        stack_.resize(cp.depth);
+        if (cp.depth > 0 && cp.top != kInvalidAddr)
+            stack_.back() = cp.top;
+    }
+
+    /** Replace the whole stack (rebuild-based recovery). */
+    void assign(std::vector<Addr> contents) { stack_ = std::move(contents); }
+
+    /** @return the full stack contents, bottom first. */
+    const std::vector<Addr> &contents() const { return stack_; }
+
+  private:
+    std::uint32_t maxDepth_;
+    std::vector<Addr> stack_;
+};
+
+} // namespace tcsim::bpred
+
+#endif // TCSIM_BPRED_RAS_H

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Bit-manipulation helpers used throughout the simulator.
+ */
+
+#ifndef TCSIM_COMMON_BITUTILS_H
+#define TCSIM_COMMON_BITUTILS_H
+
+#include <bit>
+#include <cstdint>
+
+#include "common/log.h"
+
+namespace tcsim
+{
+
+/** @return a mask with the low @p nbits bits set. */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << nbits) - 1);
+}
+
+/** @return bits [first, last] (inclusive, last >= first) of @p value. */
+constexpr std::uint64_t
+bits(std::uint64_t value, unsigned last, unsigned first)
+{
+    return (value >> first) & mask(last - first + 1);
+}
+
+/** @return true if @p value is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t value)
+{
+    return value != 0 && (value & (value - 1)) == 0;
+}
+
+/** @return floor(log2(value)); @p value must be non-zero. */
+constexpr unsigned
+floorLog2(std::uint64_t value)
+{
+    return 63 - std::countl_zero(value);
+}
+
+/** @return ceil(log2(value)); @p value must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t value)
+{
+    return value == 1 ? 0 : floorLog2(value - 1) + 1;
+}
+
+/** Sign-extend the low @p nbits bits of @p value to 64 bits. */
+constexpr std::int64_t
+signExtend(std::uint64_t value, unsigned nbits)
+{
+    const unsigned shift = 64 - nbits;
+    return static_cast<std::int64_t>(value << shift) >> shift;
+}
+
+/** Insert @p field into bits [first, first+width) of @p base. */
+constexpr std::uint64_t
+insertBits(std::uint64_t base, unsigned first, unsigned width,
+           std::uint64_t field)
+{
+    const std::uint64_t m = mask(width) << first;
+    return (base & ~m) | ((field << first) & m);
+}
+
+} // namespace tcsim
+
+#endif // TCSIM_COMMON_BITUTILS_H

@@ -1,0 +1,97 @@
+#include "common/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tcsim
+{
+
+namespace
+{
+
+LogLevel globalLevel = LogLevel::Warn;
+
+void
+vreport(const char *prefix, const char *fmt, va_list args)
+{
+    std::fprintf(stderr, "%s", prefix);
+    std::vfprintf(stderr, fmt, args);
+    std::fprintf(stderr, "\n");
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    globalLevel = level;
+}
+
+LogLevel
+logLevel()
+{
+    return globalLevel;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    vreport("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Warn)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (globalLevel < LogLevel::Info)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    vreport("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+panicAssert(const char *condition, const char *file, int line,
+            const char *fmt, ...)
+{
+    char detail[512];
+    detail[0] = '\0';
+    va_list args;
+    va_start(args, fmt);
+    std::vsnprintf(detail, sizeof(detail), fmt, args);
+    va_end(args);
+    if (detail[0] == '\0') {
+        panic("assertion '%s' failed at %s:%d", condition, file, line);
+    } else {
+        panic("assertion '%s' failed at %s:%d: %s", condition, file, line,
+              detail);
+    }
+}
+
+} // namespace tcsim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Status and error reporting helpers, in the spirit of gem5's logging.hh.
+ *
+ * panic()  - an internal simulator invariant was violated (a tcsim bug);
+ *            aborts so a debugger or core dump can capture state.
+ * fatal()  - the simulation cannot continue due to a user-level problem
+ *            (bad configuration, impossible parameter); exits cleanly.
+ * warn()   - something is modeled approximately; simulation continues.
+ * inform() - normal operating status messages.
+ */
+
+#ifndef TCSIM_COMMON_LOG_H
+#define TCSIM_COMMON_LOG_H
+
+#include <cstdarg>
+#include <string>
+
+namespace tcsim
+{
+
+/** Verbosity levels for runtime message filtering. */
+enum class LogLevel { Silent, Error, Warn, Info };
+
+/** Set the global verbosity; messages above the level are suppressed. */
+void setLogLevel(LogLevel level);
+
+/** @return the current global verbosity. */
+LogLevel logLevel();
+
+/** Report an internal invariant violation and abort. Never returns. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user-level error and exit(1). Never returns. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a non-fatal modeling concern. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Implementation hook for TCSIM_ASSERT; panics with context. */
+[[noreturn]] void panicAssert(const char *condition, const char *file,
+                              int line, const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/**
+ * Abort with a message if @p condition is false. Active in all build
+ * types, unlike assert(); used for cheap simulator-wide invariants.
+ * Optional printf-style arguments describe the violation.
+ */
+#define TCSIM_ASSERT(condition, ...)                                        \
+    do {                                                                    \
+        if (!(condition)) {                                                 \
+            ::tcsim::panicAssert(#condition, __FILE__, __LINE__,            \
+                                 "" __VA_ARGS__);                           \
+        }                                                                   \
+    } while (0)
+
+} // namespace tcsim
+
+#endif // TCSIM_COMMON_LOG_H

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (workload generation in
+ * particular) flows through Rng so that every experiment is exactly
+ * reproducible from a seed. The core generator is xoshiro256**, seeded
+ * via splitmix64 per Blackman & Vigna's recommendation.
+ */
+
+#ifndef TCSIM_COMMON_RNG_H
+#define TCSIM_COMMON_RNG_H
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+
+#include "common/log.h"
+
+namespace tcsim
+{
+
+/** splitmix64 single step; used for seeding and cheap hashing. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Deterministic xoshiro256** generator. */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(std::uint64_t seed = 0x1998'07'15ULL)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** @return a uniform integer in [0, bound); @p bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        TCSIM_ASSERT(bound > 0);
+        // Lemire's nearly-divisionless bounded generation.
+        std::uint64_t x = next();
+        __uint128_t m = static_cast<__uint128_t>(x) * bound;
+        auto low = static_cast<std::uint64_t>(m);
+        if (low < bound) {
+            const std::uint64_t threshold = -bound % bound;
+            while (low < threshold) {
+                x = next();
+                m = static_cast<__uint128_t>(x) * bound;
+                low = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /** @return a uniform integer in [lo, hi] inclusive. */
+    std::int64_t
+    range(std::int64_t lo, std::int64_t hi)
+    {
+        TCSIM_ASSERT(lo <= hi);
+        return lo + static_cast<std::int64_t>(
+                        below(static_cast<std::uint64_t>(hi - lo) + 1));
+    }
+
+    /** @return a uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * 0x1.0p-53;
+    }
+
+    /** @return true with probability @p p (clamped to [0,1]). */
+    bool
+    chance(double p)
+    {
+        if (p <= 0.0)
+            return false;
+        if (p >= 1.0)
+            return true;
+        return uniform() < p;
+    }
+
+    /**
+     * Sample a geometric distribution with the given mean, shifted to
+     * start at @p min. Used for basic-block sizes and loop trip counts.
+     */
+    unsigned
+    geometric(double mean, unsigned min = 1)
+    {
+        if (mean <= min)
+            return min;
+        const double p = 1.0 / (mean - min + 1);
+        const double u = uniform();
+        // Inverse-transform sampling; u in [0,1) keeps log1p finite.
+        double extra = std::log1p(-u) / std::log1p(-p);
+        if (extra > 1e6)
+            extra = 1e6;
+        return min + static_cast<unsigned>(extra);
+    }
+
+    /** Fork an independent stream (hash of our next output and @p salt). */
+    Rng
+    fork(std::uint64_t salt)
+    {
+        std::uint64_t s = next() ^ (salt * 0x9e3779b97f4a7c15ULL);
+        return Rng(splitmix64(s));
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_;
+};
+
+} // namespace tcsim
+
+#endif // TCSIM_COMMON_RNG_H

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Saturating counters, the workhorse of branch prediction state.
+ */
+
+#ifndef TCSIM_COMMON_SATURATING_COUNTER_H
+#define TCSIM_COMMON_SATURATING_COUNTER_H
+
+#include <cstdint>
+
+#include "common/log.h"
+
+namespace tcsim
+{
+
+/**
+ * An n-bit up/down saturating counter.
+ *
+ * For the canonical 2-bit predictor counter, values 0-1 predict
+ * not-taken and 2-3 predict taken; increment on taken, decrement on
+ * not-taken.
+ */
+class SaturatingCounter
+{
+  public:
+    /** Construct an @p nbits counter with the given initial value. */
+    explicit SaturatingCounter(unsigned nbits = 2, unsigned initial = 0)
+        : max_((1u << nbits) - 1), value_(initial)
+    {
+        TCSIM_ASSERT(nbits >= 1 && nbits <= 16);
+        TCSIM_ASSERT(initial <= max_);
+    }
+
+    /** Increment, saturating at the maximum. */
+    void
+    increment()
+    {
+        if (value_ < max_)
+            ++value_;
+    }
+
+    /** Decrement, saturating at zero. */
+    void
+    decrement()
+    {
+        if (value_ > 0)
+            --value_;
+    }
+
+    /** Move toward taken (true) or not-taken (false). */
+    void
+    update(bool taken)
+    {
+        taken ? increment() : decrement();
+    }
+
+    /** @return true if the counter is in the taken half of its range. */
+    bool predictTaken() const { return value_ > max_ / 2; }
+
+    /** @return true if the counter is saturated at either extreme. */
+    bool isSaturated() const { return value_ == 0 || value_ == max_; }
+
+    /** @return the raw counter value. */
+    unsigned value() const { return value_; }
+
+    /** @return the maximum representable value. */
+    unsigned maxValue() const { return max_; }
+
+    /** Set the raw value (clamped to range). */
+    void
+    set(unsigned value)
+    {
+        value_ = value > max_ ? max_ : value;
+    }
+
+    /** Reset to the weakly-not-taken midpoint (max/2). */
+    void reset() { value_ = max_ / 2; }
+
+  private:
+    std::uint16_t max_;
+    std::uint16_t value_;
+};
+
+} // namespace tcsim
+
+#endif // TCSIM_COMMON_SATURATING_COUNTER_H

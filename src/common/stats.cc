@@ -1,0 +1,38 @@
+#include "common/stats.h"
+
+#include <iomanip>
+
+namespace tcsim
+{
+
+void
+StatDump::print(std::ostream &os) const
+{
+    for (const auto &[name, value] : entries_) {
+        os << std::left << std::setw(44) << name << " "
+           << std::setprecision(6) << value << "\n";
+    }
+}
+
+double
+StatDump::get(const std::string &name) const
+{
+    for (const auto &[entry_name, value] : entries_) {
+        if (entry_name == name)
+            return value;
+    }
+    fatal("StatDump::get: no stat named '%s'", name.c_str());
+}
+
+bool
+StatDump::has(const std::string &name) const
+{
+    for (const auto &[entry_name, value] : entries_) {
+        (void)value;
+        if (entry_name == name)
+            return true;
+    }
+    return false;
+}
+
+} // namespace tcsim

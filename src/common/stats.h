@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Lightweight statistics collection: counters, running means, and
+ * fixed-bucket histograms, grouped into named registries for dumping.
+ */
+
+#ifndef TCSIM_COMMON_STATS_H
+#define TCSIM_COMMON_STATS_H
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+
+namespace tcsim
+{
+
+/** A simple monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    void operator++() { ++value_; }
+    void operator+=(std::uint64_t n) { value_ += n; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** A running mean over double-valued samples. */
+class RunningMean
+{
+  public:
+    /** Record one sample. */
+    void
+    sample(double value)
+    {
+        sum_ += value;
+        ++count_;
+    }
+
+    /** @return the sample mean, or 0 if no samples were recorded. */
+    double mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+    /** @return the number of samples. */
+    std::uint64_t count() const { return count_; }
+
+    /** @return the sum of all samples. */
+    double sum() const { return sum_; }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/**
+ * A histogram over integer buckets [0, numBuckets); samples beyond the
+ * last bucket saturate into it.
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(unsigned num_buckets = 17)
+        : buckets_(num_buckets, 0)
+    {
+        TCSIM_ASSERT(num_buckets >= 1);
+    }
+
+    /** Record one sample of the given value. */
+    void
+    sample(unsigned value)
+    {
+        const unsigned idx =
+            value >= buckets_.size()
+                ? static_cast<unsigned>(buckets_.size()) - 1
+                : value;
+        ++buckets_[idx];
+        ++total_;
+        sum_ += value;
+    }
+
+    /** @return the count in bucket @p idx. */
+    std::uint64_t bucket(unsigned idx) const { return buckets_.at(idx); }
+
+    /** @return the fraction of samples in bucket @p idx. */
+    double
+    fraction(unsigned idx) const
+    {
+        return total_ == 0 ? 0.0
+                           : static_cast<double>(buckets_.at(idx)) / total_;
+    }
+
+    /** @return the number of buckets. */
+    unsigned size() const { return static_cast<unsigned>(buckets_.size()); }
+
+    /** @return the total number of samples. */
+    std::uint64_t total() const { return total_; }
+
+    /** @return the mean sampled value. */
+    double
+    mean() const
+    {
+        return total_ == 0 ? 0.0 : static_cast<double>(sum_) / total_;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b = 0;
+        total_ = 0;
+        sum_ = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> buckets_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+/**
+ * A named group of scalar statistics for human-readable dumps.
+ *
+ * Components register values at dump time via snapshot() so the
+ * registry never holds dangling pointers into component state.
+ */
+class StatDump
+{
+  public:
+    /** Add one named scalar to the dump. */
+    void
+    add(const std::string &name, double value)
+    {
+        entries_.emplace_back(name, value);
+    }
+
+    /** Write all entries as "name value" lines. */
+    void print(std::ostream &os) const;
+
+    /** @return value for @p name; fatal if absent (test convenience). */
+    double get(const std::string &name) const;
+
+    /** @return true if @p name is present. */
+    bool has(const std::string &name) const;
+
+  private:
+    std::vector<std::pair<std::string, double>> entries_;
+};
+
+} // namespace tcsim
+
+#endif // TCSIM_COMMON_STATS_H

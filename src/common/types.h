@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef TCSIM_COMMON_TYPES_H
+#define TCSIM_COMMON_TYPES_H
+
+#include <cstdint>
+
+namespace tcsim
+{
+
+/** A byte address in the simulated machine's address space. */
+using Addr = std::uint64_t;
+
+/** A simulated clock cycle count. */
+using Cycle = std::uint64_t;
+
+/** Monotonically increasing dynamic instruction sequence number. */
+using InstSeqNum = std::uint64_t;
+
+/** A 64-bit architectural register value. */
+using RegVal = std::uint64_t;
+
+/** Architectural register index (0..numArchRegs-1). */
+using RegIndex = std::uint8_t;
+
+/** Sentinel for "no address". */
+constexpr Addr kInvalidAddr = ~Addr{0};
+
+/** Sentinel for "no sequence number". */
+constexpr InstSeqNum kInvalidSeqNum = 0;
+
+} // namespace tcsim
+
+#endif // TCSIM_COMMON_TYPES_H

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Node tables (reservation stations) and functional-unit scheduling
+ * bookkeeping for the HPS-style execution core: 16 universal
+ * functional units, each fed by a 64-entry node table (paper
+ * section 3). Instructions occupy an entry from dispatch until they
+ * fire; each unit starts at most one operation per cycle.
+ */
+
+#ifndef TCSIM_CORE_NODE_TABLES_H
+#define TCSIM_CORE_NODE_TABLES_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/log.h"
+#include "common/types.h"
+
+namespace tcsim::core
+{
+
+/** Configuration for the execution resources. */
+struct NodeTableParams
+{
+    std::uint32_t numUnits = 16;
+    std::uint32_t entriesPerUnit = 64;
+};
+
+/** Occupancy tracking plus per-unit ready queues. */
+class NodeTables
+{
+  public:
+    explicit NodeTables(const NodeTableParams &params = NodeTableParams{})
+        : params_(params), occupancy_(params.numUnits, 0),
+          readyQueues_(params.numUnits)
+    {
+        TCSIM_ASSERT(params_.numUnits >= 1);
+        TCSIM_ASSERT(params_.entriesPerUnit >= 1);
+    }
+
+    std::uint32_t numUnits() const { return params_.numUnits; }
+
+    /**
+     * Reserve an entry in some unit's table (round-robin among units
+     * with space).
+     * @param[out] unit the chosen unit
+     * @return false if every table is full
+     */
+    bool
+    allocate(std::uint8_t &unit)
+    {
+        for (std::uint32_t i = 0; i < params_.numUnits; ++i) {
+            const std::uint32_t u =
+                (allocNext_ + i) % params_.numUnits;
+            if (occupancy_[u] < params_.entriesPerUnit) {
+                ++occupancy_[u];
+                unit = static_cast<std::uint8_t>(u);
+                allocNext_ = (u + 1) % params_.numUnits;
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Release an entry (at fire or squash). */
+    void
+    release(std::uint8_t unit)
+    {
+        TCSIM_ASSERT(occupancy_[unit] > 0);
+        --occupancy_[unit];
+    }
+
+    /** Add a ready instruction to its unit's queue. */
+    void
+    markReady(std::uint8_t unit, InstSeqNum seq)
+    {
+        readyQueues_[unit].push_back(seq);
+    }
+
+    /** @return the ready queue for @p unit (oldest first). */
+    std::deque<InstSeqNum> &readyQueue(std::uint8_t unit)
+    {
+        return readyQueues_[unit];
+    }
+
+    /** Total occupied entries across all tables. */
+    std::uint32_t
+    totalOccupied() const
+    {
+        std::uint32_t total = 0;
+        for (const std::uint32_t occ : occupancy_)
+            total += occ;
+        return total;
+    }
+
+    /** Drop all state (full squash helper for tests). */
+    void
+    clear()
+    {
+        for (auto &occ : occupancy_)
+            occ = 0;
+        for (auto &queue : readyQueues_)
+            queue.clear();
+    }
+
+  private:
+    NodeTableParams params_;
+    std::vector<std::uint32_t> occupancy_;
+    std::vector<std::deque<InstSeqNum>> readyQueues_;
+    std::uint32_t allocNext_ = 0;
+};
+
+} // namespace tcsim::core
+
+#endif // TCSIM_CORE_NODE_TABLES_H

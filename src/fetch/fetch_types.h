@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Types shared between the fetch engines and the processor core.
+ */
+
+#ifndef TCSIM_FETCH_FETCH_TYPES_H
+#define TCSIM_FETCH_FETCH_TYPES_H
+
+#include <cstdint>
+#include <vector>
+
+#include "bpred/hybrid.h"
+#include "bpred/multi.h"
+#include "common/types.h"
+#include "isa/instruction.h"
+#include "trace/segment.h"
+
+namespace tcsim::fetch
+{
+
+/** Where a fetch batch came from. */
+enum class FetchSource : std::uint8_t
+{
+    TraceCache,
+    ICache,
+};
+
+/** One fetched instruction, annotated for the core. */
+struct FetchedInst
+{
+    isa::Instruction inst;
+    Addr pc = 0;
+
+    /** False for inactive-issued segment instructions. */
+    bool active = true;
+
+    /** Promoted conditional branch with a static direction. */
+    bool promoted = false;
+    bool promotedDir = false;
+
+    /** Block-ending (dynamically predicted) conditional branch. */
+    bool endsBlock = false;
+
+    /**
+     * The direction the fetch engine assumed to continue: the dynamic
+     * prediction for block-ending branches, the static direction for
+     * promoted branches, and the segment's embedded direction for
+     * inactive branches.
+     */
+    bool followedDir = false;
+
+    /** Trace-segment embedded direction (conditional branches). */
+    bool embeddedTaken = false;
+
+    /** Predictor training context (valid if predictionValid). */
+    bool predictionValid = false;
+    bpred::MbpCtx mbpCtx;
+    bpred::HybridCtx hybridCtx;
+    bool usedHybrid = false;
+
+    /**
+     * The address the machine believes follows this instruction along
+     * the path it fetched (for active instructions this is the next
+     * fetch target when the instruction ends the batch).
+     */
+    Addr followedNextPc = 0;
+};
+
+/** The outcome of one fetch cycle. */
+struct FetchBatch
+{
+    std::vector<FetchedInst> insts;
+
+    /** The PC to fetch from next cycle (valid when insts non-empty). */
+    Addr nextFetchPc = kInvalidAddr;
+
+    FetchSource source = FetchSource::ICache;
+
+    /** Fill-unit reason of the supplying segment (TraceCache source). */
+    trace::FillReason segmentReason = trace::FillReason::MaxSize;
+
+    /** Size of the full supplying segment (TraceCache source). */
+    unsigned segmentSize = 0;
+
+    /** Number of instructions delivered in the active portion. */
+    unsigned activeCount = 0;
+
+    /** Dynamic (non-promoted) predictions consumed this cycle. */
+    unsigned predictionsUsed = 0;
+
+    /**
+     * True when the predicted path diverged from the segment's
+     * embedded path, truncating the active portion (partial match).
+     */
+    bool partialMatch = false;
+
+    /**
+     * Cycles the front end must stall on an instruction-cache miss
+     * before this fetch can deliver (insts is empty when non-zero).
+     */
+    std::uint32_t icacheStall = 0;
+
+    /** Fetch stopped at a serializing instruction. */
+    bool sawSerialize = false;
+
+    void
+    clear()
+    {
+        insts.clear();
+        nextFetchPc = kInvalidAddr;
+        source = FetchSource::ICache;
+        segmentReason = trace::FillReason::MaxSize;
+        segmentSize = 0;
+        activeCount = 0;
+        predictionsUsed = 0;
+        partialMatch = false;
+        icacheStall = 0;
+        sawSerialize = false;
+    }
+};
+
+} // namespace tcsim::fetch
+
+#endif // TCSIM_FETCH_FETCH_TYPES_H

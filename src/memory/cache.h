@@ -1,0 +1,116 @@
+/**
+ * @file
+ * A generic set-associative, write-back, LRU cache level, composable
+ * into a hierarchy. Timing is modeled as a per-access latency returned
+ * to the caller; caches are blocking (the era's simulators, including
+ * the paper's SimpleScalar 2.0 baseline, modeled fetch stalls the same
+ * way).
+ */
+
+#ifndef TCSIM_MEMORY_CACHE_H
+#define TCSIM_MEMORY_CACHE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/stats.h"
+#include "common/types.h"
+
+namespace tcsim::memory
+{
+
+/** Geometry and latency parameters for one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::uint32_t sizeBytes = 4096;
+    std::uint32_t assoc = 4;
+    std::uint32_t lineBytes = 64;
+    /** Extra cycles charged when this level must be consulted. */
+    std::uint32_t accessLatency = 0;
+};
+
+/** One cache level; misses are forwarded to the next level. */
+class Cache
+{
+  public:
+    /**
+     * @param params geometry/latency
+     * @param next the next level, or nullptr if backed by memory
+     * @param memory_latency cycles charged when next == nullptr misses
+     *        here (i.e., this is the last level before DRAM)
+     */
+    Cache(const CacheParams &params, Cache *next,
+          std::uint32_t memory_latency = 50);
+
+    /**
+     * Access the line containing @p addr, allocating it on miss.
+     * @param write true for stores (sets the dirty bit)
+     * @return total extra latency in cycles (0 for an L1 hit when
+     *         accessLatency is 0)
+     */
+    std::uint32_t access(Addr addr, bool write);
+
+    /** @return true if the line containing @p addr is resident. */
+    bool probe(Addr addr) const;
+
+    /** Invalidate all lines. */
+    void flush();
+
+    /** @return the line size in bytes. */
+    std::uint32_t lineBytes() const { return params_.lineBytes; }
+
+    /** @return the number of sets. */
+    std::uint32_t numSets() const { return numSets_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+    /** Miss ratio over all accesses (0 when never accessed). */
+    double
+    missRatio() const
+    {
+        return accesses_ == 0
+                   ? 0.0
+                   : static_cast<double>(misses_) / accesses_;
+    }
+
+    /** Append this level's statistics to @p dump. */
+    void dumpStats(StatDump &dump) const;
+
+    void resetStats();
+
+  private:
+    struct Line
+    {
+        Addr tag = kInvalidAddr;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lruStamp = 0;
+    };
+
+    Addr lineAddr(Addr addr) const { return addr / params_.lineBytes; }
+    std::uint32_t setIndex(Addr addr) const
+    {
+        return static_cast<std::uint32_t>(lineAddr(addr) % numSets_);
+    }
+    Addr tagOf(Addr addr) const { return lineAddr(addr) / numSets_; }
+
+    CacheParams params_;
+    Cache *next_;
+    std::uint32_t memoryLatency_;
+    std::uint32_t numSets_;
+    std::vector<Line> lines_; // numSets_ * assoc, set-major
+    std::uint64_t tick_ = 0;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace tcsim::memory
+
+#endif // TCSIM_MEMORY_CACHE_H

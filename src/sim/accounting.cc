@@ -1,0 +1,35 @@
+#include "sim/accounting.h"
+
+namespace tcsim::sim
+{
+
+const char *
+cycleCategoryName(CycleCategory category)
+{
+    switch (category) {
+      case CycleCategory::UsefulFetch: return "UsefulFetch";
+      case CycleCategory::BranchMisses: return "BranchMisses";
+      case CycleCategory::CacheMisses: return "CacheMisses";
+      case CycleCategory::FullWindow: return "FullWindow";
+      case CycleCategory::Traps: return "Traps";
+      case CycleCategory::Misfetches: return "Misfetches";
+      default: return "?";
+    }
+}
+
+const char *
+fetchReasonName(FetchReason reason)
+{
+    switch (reason) {
+      case FetchReason::PartialMatch: return "PartialMatch";
+      case FetchReason::AtomicBlocks: return "AtomicBlocks";
+      case FetchReason::ICache: return "ICache";
+      case FetchReason::MispredBR: return "MispredBR";
+      case FetchReason::MaxSize: return "MaxSize";
+      case FetchReason::RetIndirTrap: return "Ret,Indir,Trap";
+      case FetchReason::MaximumBRs: return "MaximumBRs";
+      default: return "?";
+    }
+}
+
+} // namespace tcsim::sim

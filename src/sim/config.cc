@@ -1,0 +1,65 @@
+#include "sim/config.h"
+
+namespace tcsim::sim
+{
+
+ProcessorConfig
+icacheConfig()
+{
+    ProcessorConfig cfg;
+    cfg.name = "icache";
+    cfg.useTraceCache = false;
+    // A large dual-ported instruction cache replaces the TC + 4 KB
+    // support icache (paper section 3).
+    cfg.hierarchy.icache.sizeBytes = 128 * 1024;
+    return cfg;
+}
+
+ProcessorConfig
+baselineConfig()
+{
+    ProcessorConfig cfg;
+    cfg.name = "baseline";
+    cfg.useTraceCache = true;
+    cfg.fillUnit.packing = trace::PackingPolicy::Atomic;
+    cfg.fillUnit.promotion = false;
+    cfg.mbpKind = MbpKind::Tree;
+    return cfg;
+}
+
+ProcessorConfig
+promotionConfig(std::uint32_t threshold)
+{
+    ProcessorConfig cfg = baselineConfig();
+    cfg.name = "promotion-t" + std::to_string(threshold);
+    cfg.fillUnit.promotion = true;
+    cfg.fillUnit.biasTable.promoteThreshold = threshold;
+    // Promotion skews demand toward the first prediction; the paper
+    // pairs it with the restructured split predictor (section 4).
+    cfg.mbpKind = MbpKind::Split;
+    return cfg;
+}
+
+ProcessorConfig
+packingConfig(trace::PackingPolicy policy, std::uint32_t granule)
+{
+    ProcessorConfig cfg = baselineConfig();
+    cfg.name = std::string("packing-") + trace::packingPolicyName(policy);
+    cfg.fillUnit.packing = policy;
+    cfg.fillUnit.packingGranule = granule;
+    return cfg;
+}
+
+ProcessorConfig
+promotionPackingConfig(std::uint32_t threshold,
+                       trace::PackingPolicy policy, std::uint32_t granule)
+{
+    ProcessorConfig cfg = promotionConfig(threshold);
+    cfg.name = std::string("promo-pack-") +
+               trace::packingPolicyName(policy);
+    cfg.fillUnit.packing = policy;
+    cfg.fillUnit.packingGranule = granule;
+    return cfg;
+}
+
+} // namespace tcsim::sim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Full processor configuration, with presets matching the paper's
+ * experimental configurations (section 3).
+ */
+
+#ifndef TCSIM_SIM_CONFIG_H
+#define TCSIM_SIM_CONFIG_H
+
+#include <cstdint>
+#include <string>
+
+#include "bpred/bias_table.h"
+#include "core/node_tables.h"
+#include "memory/hierarchy.h"
+#include "trace/fill_unit.h"
+#include "trace/trace_cache.h"
+
+namespace tcsim::sim
+{
+
+/** Which multiple-branch predictor organization to use. */
+enum class MbpKind : std::uint8_t
+{
+    Tree,  ///< 16K x 7-counter tree PHT (baseline, Figure 3)
+    Split, ///< 64K/16K/8K split tables (used with promotion)
+};
+
+/** Memory disambiguation aggressiveness (paper section 6). */
+enum class Disambiguation : std::uint8_t
+{
+    Conservative, ///< no load bypasses a store with an unknown address
+    /**
+     * Memory dependence speculation in the spirit of Moshovos et al.
+     * [ISCA 97] (cited by the paper's section 6): loads bypass
+     * unknown-address stores unless a dependence predictor says they
+     * conflicted before; violations squash and replay from the load.
+     */
+    Speculative,
+    Perfect,      ///< all load/store dependencies speculated correctly
+};
+
+/** Everything needed to build a Processor. */
+struct ProcessorConfig
+{
+    std::string name = "baseline";
+
+    // ------------------------------------------------------------------
+    // Front end.
+    // ------------------------------------------------------------------
+    /** false = the paper's reference icache-only front end. */
+    bool useTraceCache = true;
+    trace::TraceCacheParams traceCache;
+    trace::FillUnitParams fillUnit;
+    MbpKind mbpKind = MbpKind::Tree;
+    std::uint32_t fetchWidth = 16;
+    std::uint32_t fetchQueueBatches = 2;
+    /** Partial matching [Friendly 97]; on in every paper config. */
+    bool partialMatching = true;
+    /** Inactive issue [Friendly 97]; on in every paper config. */
+    bool inactiveIssue = true;
+
+    // ------------------------------------------------------------------
+    // Memory hierarchy.
+    // ------------------------------------------------------------------
+    memory::HierarchyParams hierarchy;
+
+    // ------------------------------------------------------------------
+    // Execution core.
+    // ------------------------------------------------------------------
+    core::NodeTableParams nodeTables;
+    std::uint32_t robEntries = 512;
+    std::uint32_t retireWidth = 16;
+    /** Outstanding fetch-block checkpoints (paper: 3 created/cycle). */
+    std::uint32_t checkpoints = 64;
+    Disambiguation disambiguation = Disambiguation::Conservative;
+
+    /** Execution latencies (cycles). */
+    std::uint32_t latIntAlu = 1;
+    std::uint32_t latIntMult = 3;
+    std::uint32_t latIntDiv = 12;
+    std::uint32_t latAddrGen = 1;
+    std::uint32_t latDCacheHit = 2;
+};
+
+/** The paper's reference icache front end (128 KB, hybrid predictor). */
+ProcessorConfig icacheConfig();
+
+/** The baseline trace cache: atomic fill, no promotion, tree MBP. */
+ProcessorConfig baselineConfig();
+
+/** Baseline + branch promotion at @p threshold (split MBP). */
+ProcessorConfig promotionConfig(std::uint32_t threshold = 64);
+
+/** Baseline + trace packing (no promotion). */
+ProcessorConfig packingConfig(
+    trace::PackingPolicy policy = trace::PackingPolicy::Unregulated,
+    std::uint32_t granule = 2);
+
+/** Promotion (threshold) + packing (policy) together. */
+ProcessorConfig promotionPackingConfig(
+    std::uint32_t threshold = 64,
+    trace::PackingPolicy policy = trace::PackingPolicy::Unregulated,
+    std::uint32_t granule = 2);
+
+} // namespace tcsim::sim
+
+#endif // TCSIM_SIM_CONFIG_H

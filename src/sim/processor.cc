@@ -1,0 +1,1496 @@
+#include "sim/processor.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstdio>
+#include <tuple>
+
+#include "common/log.h"
+
+namespace tcsim::sim
+{
+
+using core::DynInst;
+using isa::Opcode;
+using workload::FunctionalExecutor;
+
+namespace
+{
+
+/** Circular DynInst storage slots; must exceed any live seq span. */
+constexpr std::size_t kRobStorageSlots = 32768;
+
+/** Hard per-run cycle budget multiplier (hang detection). */
+constexpr std::uint64_t kMaxCyclesPerInst = 200;
+
+} // namespace
+
+Processor::Processor(const ProcessorConfig &config,
+                     const workload::Program &program)
+    : config_(config), program_(program), hierarchy_(config.hierarchy),
+      nodeTables_(config.nodeTables)
+{
+    if (config_.useTraceCache) {
+        traceCache_ = std::make_unique<trace::TraceCache>(
+            config_.traceCache);
+        fillUnit_ = std::make_unique<trace::FillUnit>(config_.fillUnit,
+                                                      *traceCache_);
+        if (config_.mbpKind == MbpKind::Tree)
+            mbp_ = std::make_unique<bpred::TreeMbp>();
+        else
+            mbp_ = std::make_unique<bpred::SplitMbp>();
+    } else {
+        hybrid_ = std::make_unique<bpred::HybridPredictor>();
+    }
+
+    fetch::FetchEngineParams fe_params;
+    fe_params.useTraceCache = config_.useTraceCache;
+    fe_params.fetchWidth = config_.fetchWidth;
+    fe_params.partialMatching = config_.partialMatching;
+    fe_params.inactiveIssue = config_.inactiveIssue;
+    fe_params.pathAssociativity = config_.traceCache.pathAssociativity;
+    fetchEngine_ = std::make_unique<fetch::FetchEngine>(
+        fe_params, program_, traceCache_.get(), hierarchy_.icache(),
+        mbp_.get(), hybrid_.get(), frontEnd_);
+
+    oracle_ = std::make_unique<FunctionalExecutor>(program_);
+    memory_.initFrom(program_);
+    archRegs_[2] = workload::kStackTop; // matches FunctionalExecutor
+
+    robStorage_.resize(kRobStorageSlots);
+    memDepTable_.assign(4096, 0);
+    fetchPc_ = program_.entry();
+}
+
+std::uint32_t
+Processor::memDepIndex(Addr pc) const
+{
+    return static_cast<std::uint32_t>(pc / isa::kInstBytes) & 4095u;
+}
+
+bool
+Processor::memDepPredictsConflict(Addr pc) const
+{
+    return memDepTable_[memDepIndex(pc)] >= 2;
+}
+
+void
+Processor::recordMemDepViolation(Addr load_pc)
+{
+    std::uint8_t &counter = memDepTable_[memDepIndex(load_pc)];
+    if (counter < 3)
+        ++counter;
+    ++memOrderViolations_;
+}
+
+void
+Processor::checkStoreOrderViolation(core::DynInst &store)
+{
+    // A store just resolved its address: any younger load to the same
+    // address that already executed consumed stale data and must
+    // replay (memory-order violation).
+    const DynInst *violator = nullptr;
+    for (auto it = robOrder_.rbegin(); it != robOrder_.rend(); ++it) {
+        if (*it <= store.seq)
+            break;
+        const DynInst *cand = instFor(*it);
+        if (cand == nullptr || cand->discarded)
+            continue;
+        if (!cand->active && cand->fetchGroup != store.fetchGroup)
+            continue;
+        if (cand->isLoad() && cand->fired &&
+            cand->memAddr == store.memAddr) {
+            violator = cand; // keep scanning: want the oldest violator
+        }
+    }
+    if (violator == nullptr)
+        return;
+
+    recordMemDepViolation(violator->pc);
+    if (std::getenv("TCSIM_DEBUG_RETIRE")) {
+        std::fprintf(stderr,
+                     "violation: store seq=%llu pc=%llx addr=%llx "
+                     "load seq=%llu pc=%llx act=%d\n",
+                     (unsigned long long)store.seq,
+                     (unsigned long long)store.pc,
+                     (unsigned long long)store.memAddr,
+                     (unsigned long long)violator->seq,
+                     (unsigned long long)violator->pc,
+                     (int)violator->active);
+    }
+
+    // Replay from the violating load: keep its predecessor.
+    RecoveryRequest req;
+    req.originSeq = store.seq;
+    req.redirect = violator->pc;
+    req.cause = CycleCategory::BranchMisses;
+    req.keepSeq = 0;
+    for (auto it = robOrder_.rbegin(); it != robOrder_.rend(); ++it) {
+        if (*it < violator->seq) {
+            req.keepSeq = *it;
+            break;
+        }
+    }
+    requestRecovery(req);
+}
+
+Processor::~Processor() = default;
+
+// ----------------------------------------------------------------------
+// Oracle.
+// ----------------------------------------------------------------------
+
+void
+Processor::extendOracle(std::uint64_t upto_idx)
+{
+    while (oracleBase_ + oracleBuf_.size() <= upto_idx)
+        oracleBuf_.push_back(oracle_->step());
+}
+
+const workload::StepResult &
+Processor::oracleAt(std::uint64_t idx)
+{
+    TCSIM_ASSERT(idx >= oracleBase_, "oracle entry already trimmed");
+    extendOracle(idx);
+    return oracleBuf_[idx - oracleBase_];
+}
+
+// ----------------------------------------------------------------------
+// ROB plumbing.
+// ----------------------------------------------------------------------
+
+DynInst *
+Processor::instFor(InstSeqNum seq)
+{
+    if (seq == kInvalidSeqNum)
+        return nullptr;
+    DynInst &slot = robStorage_[seq % kRobStorageSlots];
+    return slot.seq == seq ? &slot : nullptr;
+}
+
+const DynInst *
+Processor::instFor(InstSeqNum seq) const
+{
+    if (seq == kInvalidSeqNum)
+        return nullptr;
+    const DynInst &slot = robStorage_[seq % kRobStorageSlots];
+    return slot.seq == seq ? &slot : nullptr;
+}
+
+DynInst &
+Processor::allocInst()
+{
+    if (!robOrder_.empty()) {
+        TCSIM_ASSERT(nextSeq_ - robOrder_.front() <
+                         kRobStorageSlots - 64,
+                     "DynInst storage span exhausted");
+    }
+    DynInst &slot = robStorage_[nextSeq_ % kRobStorageSlots];
+    slot = DynInst{};
+    slot.seq = nextSeq_;
+    robOrder_.push_back(nextSeq_);
+    ++nextSeq_;
+    return slot;
+}
+
+// ----------------------------------------------------------------------
+// Fetch.
+// ----------------------------------------------------------------------
+
+void
+Processor::classifyFetchBatch(PendingBatch &pending)
+{
+    const fetch::FetchBatch &batch = pending.batch;
+    pending.wasOnPath = onTruePath_;
+    pending.oracleStart = oracleFetchIdx_;
+    pending.correctPrefix = 0;
+    if (!onTruePath_)
+        return;
+
+    const unsigned size = static_cast<unsigned>(batch.insts.size());
+    extendOracle(oracleFetchIdx_ + size);
+
+    unsigned k = 0;
+    while (k < size &&
+           oracleAt(oracleFetchIdx_ + k).pc == batch.insts[k].pc) {
+        ++k;
+    }
+    pending.correctPrefix = k;
+    TCSIM_ASSERT(k >= 1, "on-path fetch must match at least one inst");
+
+    const bool stays_on =
+        batch.nextFetchPc == oracleAt(oracleFetchIdx_ + k).pc;
+
+    // Fetch-size histogram with termination reason (Figures 4/6).
+    FetchReason reason;
+    const fetch::FetchedInst &steer =
+        batch.insts[std::min(k, size) - 1];
+    if (batch.source == fetch::FetchSource::ICache) {
+        if (!stays_on) {
+            reason = FetchReason::MispredBR;
+        } else if (size >= config_.fetchWidth) {
+            reason = FetchReason::MaxSize;
+        } else {
+            reason = FetchReason::ICache;
+        }
+    } else {
+        if (!stays_on) {
+            if (isa::isReturn(steer.inst.op) ||
+                isa::isIndirectJump(steer.inst.op)) {
+                reason = FetchReason::RetIndirTrap;
+            } else {
+                reason = FetchReason::MispredBR;
+            }
+        } else if (k < size) {
+            reason = FetchReason::PartialMatch;
+        } else {
+            switch (batch.segmentReason) {
+              case trace::FillReason::MaxSize:
+                reason = FetchReason::MaxSize;
+                break;
+              case trace::FillReason::MaxBranches:
+                reason = FetchReason::MaximumBRs;
+                break;
+              case trace::FillReason::AtomicBlock:
+              case trace::FillReason::Resync:
+                reason = FetchReason::AtomicBlocks;
+                break;
+              case trace::FillReason::RetIndirTrap:
+              default:
+                reason = FetchReason::RetIndirTrap;
+                break;
+            }
+        }
+    }
+    accounting_.usefulFetch(k, reason);
+    ++fetchesNeedingPreds_[std::min<unsigned>(batch.predictionsUsed, 3)];
+
+    oracleFetchIdx_ += k;
+    if (!stays_on) {
+        onTruePath_ = false;
+        offPathCause_ = (isa::isReturn(steer.inst.op) ||
+                         isa::isIndirectJump(steer.inst.op))
+                            ? CycleCategory::Misfetches
+                            : CycleCategory::BranchMisses;
+    }
+}
+
+void
+Processor::fetchStage()
+{
+    if (serializeStall_) {
+        accounting_.cycle(CycleCategory::Traps);
+        return;
+    }
+    if (icacheStallUntil_ > cycle_) {
+        accounting_.cycle(onTruePath_ ? CycleCategory::CacheMisses
+                                      : offPathCause_);
+        return;
+    }
+
+    // Structural stalls: queue space, ROB headroom, checkpoint pool.
+    const bool queue_full = fetchQueue_.size() >= config_.fetchQueueBatches;
+    const bool rob_full =
+        robOrder_.size() + config_.fetchWidth > config_.robEntries;
+    const bool ckpt_full =
+        outstandingCheckpoints_ + trace::kMaxSegmentBranches >
+        config_.checkpoints;
+    if (queue_full || rob_full || ckpt_full) {
+        accounting_.cycle(onTruePath_ ? CycleCategory::FullWindow
+                                      : offPathCause_);
+        return;
+    }
+
+    const bool was_on = onTruePath_;
+    fetchEngine_->fetchCycle(fetchPc_, scratchBatch_);
+
+    if (scratchBatch_.icacheStall > 0) {
+        icacheStallUntil_ = cycle_ + scratchBatch_.icacheStall;
+        accounting_.cycle(was_on ? CycleCategory::CacheMisses
+                                 : offPathCause_);
+        return;
+    }
+
+    TCSIM_ASSERT(!scratchBatch_.insts.empty(),
+                 "fetch produced neither stall nor instructions");
+
+    PendingBatch pending;
+    pending.batch = std::move(scratchBatch_);
+    scratchBatch_ = fetch::FetchBatch{};
+    if (fillUnit_ != nullptr &&
+        pending.batch.source == fetch::FetchSource::ICache) {
+        fillUnit_->noteFetchMiss(fetchPc_);
+    }
+    pending.group = nextFetchGroup_++;
+    pending.fetchCycle = cycle_;
+    classifyFetchBatch(pending);
+
+    fetchPc_ = pending.batch.nextFetchPc;
+    if (pending.batch.sawSerialize)
+        serializeStall_ = true;
+
+    const bool useful = was_on && pending.correctPrefix > 0;
+    accounting_.cycle(useful ? CycleCategory::UsefulFetch
+                             : offPathCause_);
+    fetchQueue_.push_back(std::move(pending));
+}
+
+// ----------------------------------------------------------------------
+// Dispatch (issue stage: rename into node tables).
+// ----------------------------------------------------------------------
+
+void
+Processor::dispatchStage()
+{
+    if (fetchQueue_.empty())
+        return;
+    PendingBatch &pb = fetchQueue_.front();
+    const std::size_t batch_size = pb.batch.insts.size();
+
+    // Whole batches dispatch atomically so trace-segment groups stay
+    // contiguous in the window (inactive-issue salvage relies on it).
+    if (robOrder_.size() + batch_size > config_.robEntries)
+        return;
+    const std::uint32_t rs_capacity =
+        nodeTables_.numUnits() * config_.nodeTables.entriesPerUnit;
+    if (nodeTables_.totalOccupied() + batch_size > rs_capacity)
+        return;
+
+    Rat shadow;
+    bool shadow_active = false;
+
+    for (std::size_t i = 0; i < batch_size; ++i) {
+        const fetch::FetchedInst &fi = pb.batch.insts[i];
+        DynInst &di = allocInst();
+        di.inst = fi.inst;
+        di.pc = fi.pc;
+        di.fetchGroup = pb.group;
+        di.fetchCycle = pb.fetchCycle;
+        di.source = pb.batch.source;
+        di.active = fi.active;
+        di.promoted = fi.promoted;
+        di.promotedDir = fi.promotedDir;
+        di.endsBlock = fi.endsBlock;
+        di.followedDir = fi.followedDir;
+        di.embeddedTaken = fi.embeddedTaken;
+        di.predictionValid = fi.predictionValid;
+        di.usedHybrid = fi.usedHybrid;
+        di.mbpCtx = fi.mbpCtx;
+        di.hybridCtx = fi.hybridCtx;
+        di.followedNextPc = fi.followedNextPc;
+
+        di.onCorrectPath = pb.wasOnPath && i < pb.correctPrefix;
+        if (di.onCorrectPath) {
+            di.oracleIdx = pb.oracleStart + i;
+            const workload::StepResult &step = oracleAt(di.oracleIdx);
+            di.oracleMemAddr = step.memAddr;
+        }
+
+        // Inactive-issue shadow rename context.
+        if (!fi.active && !shadow_active) {
+            shadow = rat_;
+            shadow_active = true;
+        }
+        Rat &rat = shadow_active && !fi.active ? shadow : rat_;
+
+        // Source renaming.
+        const bool reads[2] = {isa::readsRs1(fi.inst),
+                               isa::readsRs2(fi.inst)};
+        const RegIndex regs[2] = {fi.inst.rs1, fi.inst.rs2};
+        for (unsigned op = 0; op < 2; ++op) {
+            di.srcReady[op] = true;
+            di.srcVal[op] = 0;
+            if (!reads[op] || regs[op] == isa::kRegZero)
+                continue;
+            const RatEntry &entry = rat[regs[op]];
+            if (entry.isValue) {
+                di.srcVal[op] = entry.value;
+            } else {
+                DynInst *producer = instFor(entry.tag);
+                TCSIM_ASSERT(producer != nullptr,
+                             "RAT tag without live producer");
+                if (producer->executed) {
+                    di.srcVal[op] = producer->result;
+                } else {
+                    di.srcReady[op] = false;
+                    di.srcDep[op] = entry.tag;
+                    producer->waiters.push_back(di.seq);
+                }
+            }
+        }
+
+        // Destination renaming.
+        if (isa::writesReg(fi.inst)) {
+            rat[fi.inst.rd] = RatEntry{false, 0, di.seq};
+        }
+
+        // Resources.
+        const bool allocated = nodeTables_.allocate(di.rsTable);
+        TCSIM_ASSERT(allocated, "node table allocation must succeed");
+        if (di.isStore())
+            storeQueue_.push_back(di.seq);
+        if (di.endsBlock)
+            ++outstandingCheckpoints_;
+
+        di.readyCycle = cycle_ + 1;
+        if (operandsReady(di))
+            enqueueReady(di);
+    }
+
+    fetchQueue_.pop_front();
+}
+
+bool
+Processor::operandsReady(const DynInst &inst) const
+{
+    return inst.srcReady[0] && inst.srcReady[1];
+}
+
+void
+Processor::enqueueReady(DynInst &inst)
+{
+    if (inst.inReadyQueue || inst.fired)
+        return;
+    inst.inReadyQueue = true;
+    nodeTables_.markReady(inst.rsTable, inst.seq);
+}
+
+// ----------------------------------------------------------------------
+// Schedule + execute.
+// ----------------------------------------------------------------------
+
+void
+Processor::executeInst(DynInst &inst)
+{
+    RegVal result = 0;
+    Addr next_pc = 0;
+    bool taken = false;
+    FunctionalExecutor::computeResult(inst.inst, inst.pc, inst.srcVal[0],
+                                      inst.srcVal[1], inst.result, result,
+                                      next_pc, taken);
+    // For loads inst.result was preloaded with the memory value by
+    // tryScheduleMemory; computeResult passes it through.
+    inst.result = result;
+    inst.taken = taken;
+    inst.actualNextPc = next_pc;
+}
+
+RegVal
+Processor::loadValueFor(DynInst &load, bool &forwarded)
+{
+    forwarded = false;
+    // Walk older visible stores youngest-first.
+    for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend(); ++it) {
+        if (*it >= load.seq)
+            continue;
+        DynInst *store = instFor(*it);
+        if (store == nullptr || store->discarded)
+            continue;
+        if (!store->active && store->fetchGroup != load.fetchGroup)
+            continue;
+        if (store->memAddrKnown && store->memAddr == load.memAddr &&
+            store->executed) {
+            forwarded = true;
+            return store->storeData;
+        }
+        if (store->memAddrKnown && store->memAddr == load.memAddr) {
+            // Matching but data not ready: caller must not be here.
+            panic("loadValueFor called while blocked");
+        }
+    }
+    return memory_.load(load.memAddr);
+}
+
+bool
+Processor::tryScheduleMemory(DynInst &inst)
+{
+    if (inst.isStore()) {
+        inst.memAddr =
+            FunctionalExecutor::effectiveAddr(inst.inst, inst.srcVal[0]);
+        inst.memAddrKnown = true;
+        inst.storeData = inst.srcVal[1];
+        inst.completeCycle = cycle_ + config_.latAddrGen;
+        if (config_.disambiguation == Disambiguation::Speculative)
+            checkStoreOrderViolation(inst);
+        return true;
+    }
+
+    TCSIM_ASSERT(inst.isLoad());
+    inst.memAddr =
+        FunctionalExecutor::effectiveAddr(inst.inst, inst.srcVal[0]);
+
+    // Disambiguate against older visible stores.
+    for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend(); ++it) {
+        if (*it >= inst.seq)
+            continue;
+        DynInst *store = instFor(*it);
+        if (store == nullptr || store->discarded)
+            continue;
+        if (!store->active && store->fetchGroup != inst.fetchGroup)
+            continue;
+
+        if (store->memAddrKnown) {
+            if (store->memAddr == inst.memAddr && !store->executed)
+                return false; // matching store, data not yet ready
+            if (store->memAddr == inst.memAddr)
+                break; // youngest matching store found, data ready
+            continue;  // known non-matching: bypass
+        }
+
+        // Unknown store address.
+        if (config_.disambiguation == Disambiguation::Conservative)
+            return false;
+        if (config_.disambiguation == Disambiguation::Speculative) {
+            // Memory dependence speculation: bypass unless this load
+            // has a conflict history. Inactively issued loads stay
+            // conservative: a salvaged stale value would bypass the
+            // violation check.
+            if (!inst.active || memDepPredictsConflict(inst.pc))
+                return false;
+            continue;
+        }
+        // Perfect disambiguation: the scheduler "knows" the eventual
+        // address (the oracle's, when available; wrong-path stores are
+        // assumed non-aliasing).
+        if (store->oracleMemAddr != kInvalidAddr &&
+            store->oracleMemAddr == inst.memAddr) {
+            return false; // true dependence: wait for the store
+        }
+    }
+
+    bool forwarded = false;
+    const RegVal value = loadValueFor(inst, forwarded);
+    inst.result = value;
+
+    std::uint32_t latency = config_.latAddrGen;
+    if (forwarded) {
+        latency += 1;
+    } else {
+        latency += config_.latDCacheHit +
+                   hierarchy_.dcache().access(inst.memAddr, false);
+    }
+    inst.completeCycle = cycle_ + latency;
+    return true;
+}
+
+void
+Processor::scheduleStage()
+{
+    for (std::uint32_t unit = 0; unit < nodeTables_.numUnits(); ++unit) {
+        auto &queue = nodeTables_.readyQueue(
+            static_cast<std::uint8_t>(unit));
+        unsigned attempts = 0;
+        while (!queue.empty() && attempts < 8) {
+            const InstSeqNum seq = queue.front();
+            queue.pop_front();
+            DynInst *di = instFor(seq);
+            if (di == nullptr || di->fired || !di->inReadyQueue)
+                continue; // stale or already handled
+            if (di->readyCycle > cycle_) {
+                queue.push_back(seq);
+                ++attempts;
+                continue;
+            }
+
+            if (isa::isMem(di->inst.op)) {
+                if (!tryScheduleMemory(*di)) {
+                    di->readyCycle = cycle_ + 1;
+                    queue.push_back(seq);
+                    ++attempts;
+                    continue;
+                }
+            } else {
+                std::uint32_t latency;
+                switch (isa::instClass(di->inst.op)) {
+                  case isa::InstClass::IntMult:
+                    latency = config_.latIntMult;
+                    break;
+                  case isa::InstClass::IntDiv:
+                    latency = config_.latIntDiv;
+                    break;
+                  default:
+                    latency = config_.latIntAlu;
+                    break;
+                }
+                di->completeCycle = cycle_ + latency;
+            }
+
+            if (di->isLoad()) {
+                // Result (the loaded value) was set by
+                // tryScheduleMemory; keep it for completion.
+            } else {
+                executeInst(*di);
+            }
+
+            di->fired = true;
+            di->inReadyQueue = false;
+            nodeTables_.release(di->rsTable);
+            completionHeap_.emplace_back(di->completeCycle, di->seq);
+            std::push_heap(completionHeap_.begin(),
+                           completionHeap_.end(),
+                           std::greater<>());
+            break; // this unit started its one op for the cycle
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Complete (writeback): broadcast results, resolve control.
+// ----------------------------------------------------------------------
+
+void
+Processor::wakeDependents(DynInst &producer)
+{
+    for (const InstSeqNum waiter_seq : producer.waiters) {
+        DynInst *consumer = instFor(waiter_seq);
+        if (consumer == nullptr)
+            continue;
+        bool changed = false;
+        for (unsigned op = 0; op < 2; ++op) {
+            if (!consumer->srcReady[op] &&
+                consumer->srcDep[op] == producer.seq) {
+                consumer->srcReady[op] = true;
+                consumer->srcVal[op] = producer.result;
+                changed = true;
+            }
+        }
+        if (changed && operandsReady(*consumer) && !consumer->fired) {
+            consumer->readyCycle = std::max(consumer->readyCycle, cycle_);
+            enqueueReady(*consumer);
+        }
+    }
+    producer.waiters.clear();
+}
+
+void
+Processor::resolveControl(DynInst &inst)
+{
+    if (!inst.active || inst.discarded)
+        return;
+
+    const Opcode op = inst.inst.op;
+
+    if (isa::isCondBranch(op)) {
+        if (inst.promoted) {
+            if (inst.taken != inst.followedDir) {
+                // Promoted-branch fault: back up to the previous
+                // fetch-block checkpoint (or the retire boundary) and
+                // refetch with a direction override.
+                inst.resolvedFault = true;
+                ++promotedFaults_;
+
+                RecoveryRequest req;
+                req.originSeq = inst.seq;
+                req.cause = CycleCategory::BranchMisses;
+                req.countResolution = true;
+                req.predictedCycle = inst.fetchCycle;
+                req.overrideValid = true;
+                req.overridePc = inst.pc;
+                req.overrideDir = inst.taken;
+
+                // Find the previous checkpoint among older in-flight
+                // instructions: the nearest block-ending branch, or
+                // failing that the boundary of the faulting fetch
+                // group (the machine checkpoints each fetch block it
+                // supplies, so a group boundary is always one).
+                const DynInst *checkpoint = nullptr;
+                for (auto it = robOrder_.rbegin();
+                     it != robOrder_.rend(); ++it) {
+                    if (*it >= inst.seq)
+                        continue;
+                    const DynInst *cand = instFor(*it);
+                    if (cand == nullptr || !cand->active ||
+                        cand->discarded) {
+                        continue;
+                    }
+                    if (cand->endsBlock ||
+                        cand->fetchGroup != inst.fetchGroup) {
+                        checkpoint = cand;
+                        break;
+                    }
+                }
+                if (checkpoint != nullptr) {
+                    req.keepSeq = checkpoint->seq;
+                    req.redirect = checkpoint->followedNextPc;
+                } else {
+                    // The faulting group is the oldest in flight:
+                    // back up to the retire boundary and refetch from
+                    // the group's first surviving instruction.
+                    req.keepSeq = 0;
+                    req.redirect = inst.pc;
+                    for (const InstSeqNum other : robOrder_) {
+                        const DynInst *cand = instFor(other);
+                        if (cand != nullptr && cand->active &&
+                            !cand->discarded) {
+                            req.redirect = cand->pc;
+                            break;
+                        }
+                    }
+                }
+                // The replay refetches any earlier dynamic instances
+                // of this PC; the override must pass over them and hit
+                // exactly the faulting instance.
+                for (const InstSeqNum other : robOrder_) {
+                    if (other <= req.keepSeq || other >= inst.seq)
+                        continue;
+                    const DynInst *prior = instFor(other);
+                    if (prior != nullptr && prior->pc == inst.pc &&
+                        prior->isCondBranch() && prior->active &&
+                        !prior->discarded) {
+                        ++req.overrideSkip;
+                    }
+                }
+                requestRecovery(req);
+            } else if (inst.followedDir != inst.embeddedTaken) {
+                // An override flipped this promoted branch off the
+                // segment's embedded path and the flip was right: the
+                // inactively issued suffix loses.
+                for (auto it = robOrder_.begin(); it != robOrder_.end();
+                     ++it) {
+                    if (*it <= inst.seq)
+                        continue;
+                    DynInst *cand = instFor(*it);
+                    if (cand == nullptr)
+                        continue;
+                    if (cand->fetchGroup != inst.fetchGroup)
+                        break;
+                    if (!cand->active)
+                        cand->discarded = true;
+                    else
+                        break;
+                }
+            }
+            return;
+        }
+
+        if (inst.taken != inst.followedDir) {
+            inst.resolvedMispredict = true;
+            // The machine now follows the corrected direction; later
+            // recoveries that anchor on this branch (promoted faults
+            // backing up to the previous checkpoint) must resume on
+            // the corrected path.
+            inst.followedDir = inst.taken;
+            inst.followedNextPc = inst.actualNextPc;
+
+            RecoveryRequest req;
+            req.originSeq = inst.seq;
+            req.cause = CycleCategory::BranchMisses;
+            req.countResolution = true;
+            req.predictedCycle = inst.fetchCycle;
+
+            // Inactive-issue salvage: when the segment's embedded path
+            // agrees with the actual outcome, the inactively issued
+            // suffix of this fetch group is already in the window.
+            InstSeqNum last_suffix = kInvalidSeqNum;
+            if (inst.endsBlock && inst.taken == inst.embeddedTaken) {
+                for (auto it = robOrder_.begin(); it != robOrder_.end();
+                     ++it) {
+                    if (*it <= inst.seq)
+                        continue;
+                    const DynInst *cand = instFor(*it);
+                    if (cand == nullptr)
+                        continue;
+                    if (cand->fetchGroup != inst.fetchGroup)
+                        break; // groups are contiguous
+                    if (!cand->active && !cand->discarded)
+                        last_suffix = cand->seq;
+                    else
+                        break;
+                }
+            }
+            if (last_suffix != kInvalidSeqNum) {
+                req.salvage = true;
+                req.salvageFrom = inst.seq;
+                req.keepSeq = last_suffix;
+                req.redirect = kInvalidAddr; // computed during rebuild
+            } else {
+                req.keepSeq = inst.seq;
+                req.redirect = inst.actualNextPc;
+            }
+            requestRecovery(req);
+        } else if (!inst.promoted && inst.endsBlock &&
+                   inst.followedDir != inst.embeddedTaken) {
+            // Correct prediction that diverged from the segment: the
+            // inactively issued suffix loses and is discarded.
+            for (auto it = robOrder_.begin(); it != robOrder_.end();
+                 ++it) {
+                if (*it <= inst.seq)
+                    continue;
+                DynInst *cand = instFor(*it);
+                if (cand == nullptr)
+                    continue;
+                if (cand->fetchGroup != inst.fetchGroup)
+                    break;
+                if (!cand->active)
+                    cand->discarded = true;
+                else
+                    break;
+            }
+        }
+        return;
+    }
+
+    if (isa::isReturn(op) || isa::isIndirectJump(op)) {
+        if (inst.actualNextPc != inst.followedNextPc) {
+            inst.resolvedMisfetch = true;
+            inst.followedNextPc = inst.actualNextPc;
+            RecoveryRequest req;
+            req.originSeq = inst.seq;
+            req.keepSeq = inst.seq;
+            req.redirect = inst.actualNextPc;
+            req.cause = CycleCategory::Misfetches;
+            req.countResolution = false;
+            requestRecovery(req);
+        }
+        return;
+    }
+}
+
+void
+Processor::completeStage()
+{
+    while (!completionHeap_.empty() &&
+           completionHeap_.front().first <= cycle_) {
+        std::pop_heap(completionHeap_.begin(), completionHeap_.end(),
+                      std::greater<>());
+        const auto [when, seq] = completionHeap_.back();
+        completionHeap_.pop_back();
+        (void)when;
+
+        DynInst *di = instFor(seq);
+        if (di == nullptr || di->executed || !di->fired)
+            continue; // squashed or stale
+        di->executed = true;
+        di->resolveCycle = cycle_;
+        wakeDependents(*di);
+        if (isa::isControl(di->inst.op))
+            resolveControl(*di);
+    }
+}
+
+// ----------------------------------------------------------------------
+// Recovery.
+// ----------------------------------------------------------------------
+
+void
+Processor::requestRecovery(const RecoveryRequest &request)
+{
+    if (recoveryPending_ && recovery_.originSeq <= request.originSeq)
+        return; // the architecturally older resolution wins
+    recovery_ = request;
+    recoveryPending_ = true;
+}
+
+void
+Processor::squashYoungerThan(InstSeqNum keep_seq)
+{
+    while (!robOrder_.empty() && robOrder_.back() > keep_seq) {
+        const InstSeqNum seq = robOrder_.back();
+        robOrder_.pop_back();
+        DynInst *di = instFor(seq);
+        TCSIM_ASSERT(di != nullptr);
+        if (!di->fired)
+            nodeTables_.release(di->rsTable);
+        if (di->endsBlock) {
+            TCSIM_ASSERT(outstandingCheckpoints_ > 0);
+            --outstandingCheckpoints_;
+        }
+        di->seq = kInvalidSeqNum; // invalidate stale references
+    }
+    while (!storeQueue_.empty() && storeQueue_.back() > keep_seq)
+        storeQueue_.pop_back();
+}
+
+Addr
+Processor::rebuildSpeculativeState(const DynInst *tail)
+{
+    // RAT from architectural values plus surviving in-flight writers.
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        rat_[r] = RatEntry{true, archRegs_[r], kInvalidSeqNum};
+
+    std::uint64_t history = archHistory_;
+    std::vector<Addr> ras = archRas_;
+    Addr salvage_redirect = kInvalidAddr;
+
+    for (const InstSeqNum seq : robOrder_) {
+        DynInst *di = instFor(seq);
+        TCSIM_ASSERT(di != nullptr);
+        if (!di->active || di->discarded)
+            continue;
+
+        if (isa::writesReg(di->inst))
+            rat_[di->inst.rd] = RatEntry{false, 0, di->seq};
+
+        const Opcode op = di->inst.op;
+        if (isa::isCondBranch(op)) {
+            history = (history << 1) |
+                      static_cast<std::uint64_t>(di->followedDir);
+        } else if (isa::isCall(op)) {
+            ras.push_back(di->pc + isa::kInstBytes);
+        } else if (isa::isReturn(op)) {
+            Addr target = kInvalidAddr;
+            if (!ras.empty()) {
+                target = ras.back();
+                ras.pop_back();
+            }
+            if (tail != nullptr && di->seq == tail->seq) {
+                salvage_redirect = target == kInvalidAddr
+                                       ? di->pc + isa::kInstBytes
+                                       : target;
+                di->followedNextPc = salvage_redirect;
+            }
+        }
+
+        if (tail != nullptr && di->seq == tail->seq &&
+            salvage_redirect == kInvalidAddr) {
+            if (isa::isIndirectJump(op)) {
+                const Addr predicted = frontEnd_.indirect.predict(di->pc);
+                salvage_redirect = predicted == kInvalidAddr
+                                       ? di->pc + isa::kInstBytes
+                                       : predicted;
+                di->followedNextPc = salvage_redirect;
+            } else {
+                salvage_redirect = di->followedNextPc;
+            }
+        }
+    }
+
+    frontEnd_.history.restore(history);
+    frontEnd_.ras.assign(std::move(ras));
+    return salvage_redirect;
+}
+
+void
+Processor::applyRecovery()
+{
+    if (!recoveryPending_)
+        return;
+    recoveryPending_ = false;
+    const RecoveryRequest req = recovery_;
+    if (DynInst *origin = instFor(req.originSeq))
+        origin->recoveryApplied = true;
+    debugRecoveryLog_.emplace_back(cycle_, req.keepSeq, req.redirect,
+                                   (int)req.cause, req.salvage);
+    if (debugRecoveryLog_.size() > 24) debugRecoveryLog_.pop_front();
+
+    squashYoungerThan(req.keepSeq);
+    fetchQueue_.clear();
+
+    // Salvage: activate the surviving inactive suffix.
+    DynInst *tail = nullptr;
+    if (req.salvage) {
+        for (const InstSeqNum seq : robOrder_) {
+            if (seq <= req.salvageFrom)
+                continue;
+            DynInst *di = instFor(seq);
+            TCSIM_ASSERT(di != nullptr);
+            di->active = true;
+        }
+        tail = instFor(req.keepSeq);
+        TCSIM_ASSERT(tail != nullptr, "salvage tail vanished");
+    }
+
+    const Addr salvage_redirect = rebuildSpeculativeState(tail);
+    Addr redirect = req.redirect;
+    if (req.salvage) {
+        TCSIM_ASSERT(salvage_redirect != kInvalidAddr);
+        redirect = salvage_redirect;
+    }
+
+    if (req.overrideValid) {
+        frontEnd_.overrides[req.overridePc] =
+            fetch::FrontEndState::Override{req.overrideSkip,
+                                           req.overrideDir};
+    }
+
+    fetchPc_ = redirect;
+    icacheStallUntil_ = 0;
+
+    // Serialization: a surviving in-flight trap keeps fetch stalled.
+    serializeStall_ = false;
+    for (const InstSeqNum seq : robOrder_) {
+        const DynInst *di = instFor(seq);
+        if (di != nullptr && !di->discarded && di->active &&
+            isa::isSerializing(di->inst.op)) {
+            serializeStall_ = true;
+            break;
+        }
+    }
+
+    // Oracle resynchronization. The resync anchor is the youngest
+    // surviving instruction on the followed path: the keep instruction
+    // itself may be discarded (memory-order replays can keep a
+    // discarded predecessor) or already retired (deferred requests),
+    // in which case the anchor falls back to an older survivor or the
+    // retire boundary.
+    const DynInst *anchor = nullptr;
+    if (req.keepSeq != 0) {
+        for (auto it = robOrder_.rbegin(); it != robOrder_.rend(); ++it) {
+            const DynInst *cand = instFor(*it);
+            if (cand != nullptr && cand->active && !cand->discarded) {
+                anchor = cand;
+                break;
+            }
+        }
+    }
+    if (anchor == nullptr) {
+        onTruePath_ = redirect == oracleAt(oracleRetireIdx_).pc;
+        oracleFetchIdx_ = oracleRetireIdx_;
+    } else {
+        if (anchor->onCorrectPath &&
+            oracleAt(anchor->oracleIdx).nextPc == redirect) {
+            onTruePath_ = true;
+            oracleFetchIdx_ = anchor->oracleIdx + 1;
+        } else {
+            onTruePath_ = false;
+            offPathCause_ = req.cause;
+        }
+    }
+    if (!onTruePath_)
+        offPathCause_ = req.cause;
+
+    // Resolution-time bookkeeping (Figure 15).
+    if (req.countResolution) {
+        resolutionTimeSum_ += cycle_ - req.predictedCycle;
+        ++resolutionTimeCount_;
+    }
+
+    // Salvaged instructions that already executed may themselves have
+    // resolved against the machine's new path; re-run their checks.
+    if (req.salvage) {
+        for (const InstSeqNum seq : robOrder_) {
+            if (seq <= req.salvageFrom)
+                continue;
+            DynInst *di = instFor(seq);
+            if (di != nullptr && di->executed &&
+                isa::isControl(di->inst.op)) {
+                resolveControl(*di);
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Retire.
+// ----------------------------------------------------------------------
+
+void
+Processor::retireOne(DynInst &inst)
+{
+    if (inst.discarded) {
+        if (inst.endsBlock) {
+            TCSIM_ASSERT(outstandingCheckpoints_ > 0);
+            --outstandingCheckpoints_;
+        }
+        if (inst.isStore()) {
+            TCSIM_ASSERT(!storeQueue_.empty() &&
+                         storeQueue_.front() == inst.seq);
+            storeQueue_.erase(storeQueue_.begin());
+        }
+        return;
+    }
+
+    // The retired stream must equal the functional oracle's stream.
+    const workload::StepResult &golden = oracleAt(oracleRetireIdx_);
+    if (golden.pc != inst.pc && std::getenv("TCSIM_DEBUG_RETIRE")) {
+        for (std::uint64_t i = oracleRetireIdx_ >= 3 ? oracleRetireIdx_-3 : 0;
+             i <= oracleRetireIdx_ + 3; ++i) {
+            if (i < oracleBase_) continue;
+            const auto &e = oracleAt(i);
+            std::fprintf(stderr, "  oracle[%llu] pc=%llx op=%s taken=%d next=%llx\n",
+                (unsigned long long)i, (unsigned long long)e.pc,
+                isa::opcodeName(e.inst.op), (int)e.taken,
+                (unsigned long long)e.nextPc);
+        }
+        std::fprintf(stderr, "divergence at retire idx %llu: got %llx want %llx seq=%llu op=%s group=%llu active=%d\n",
+            (unsigned long long)oracleRetireIdx_, (unsigned long long)inst.pc,
+            (unsigned long long)golden.pc, (unsigned long long)inst.seq,
+            isa::opcodeName(inst.inst.op), (unsigned long long)inst.fetchGroup, (int)inst.active);
+        for (auto &d : debugRetireLog_) {
+            const auto meta = std::get<3>(d);
+            std::fprintf(stderr, "  retired pc=%llx op=%s seq=%llu grp=%llu act=%d eb=%d fd=%d et=%d tk=%d tc=%d\n",
+                (unsigned long long)std::get<0>(d), isa::opcodeName(std::get<1>(d)),
+                (unsigned long long)std::get<2>(d), (unsigned long long)(meta & 0xffffffffffffULL),
+                (int)((meta>>56)&1), (int)((meta>>57)&1), (int)((meta>>58)&1),
+                (int)((meta>>59)&1), (int)((meta>>60)&1), (int)((meta>>61)&1));
+        }
+        for (auto &r : debugRecoveryLog_)
+            std::fprintf(stderr, "  recovery cyc=%llu keep=%llu redirect=%llx cause=%d salvage=%d\n",
+                (unsigned long long)std::get<0>(r), (unsigned long long)std::get<1>(r),
+                (unsigned long long)std::get<2>(r), std::get<3>(r), std::get<4>(r));
+    }
+    TCSIM_ASSERT(golden.pc == inst.pc,
+                 "retired pc 0x%llx diverges from oracle pc 0x%llx "
+                 "at retire index %llu",
+                 static_cast<unsigned long long>(inst.pc),
+                 static_cast<unsigned long long>(golden.pc),
+                 static_cast<unsigned long long>(oracleRetireIdx_));
+    TCSIM_ASSERT(!isa::writesReg(inst.inst) || golden.result == inst.result,
+                 "retired value %llx diverges from oracle %llx at pc %llx "
+                 "op=%s seq=%llu idx=%llu",
+                 static_cast<unsigned long long>(inst.result),
+                 static_cast<unsigned long long>(golden.result),
+                 static_cast<unsigned long long>(inst.pc),
+                 isa::opcodeName(inst.inst.op),
+                 static_cast<unsigned long long>(inst.seq),
+                 static_cast<unsigned long long>(oracleRetireIdx_));
+    TCSIM_ASSERT(!isa::isMem(inst.inst.op) || golden.memAddr == inst.memAddr,
+                 "retired mem addr diverges at pc %llx",
+                 static_cast<unsigned long long>(inst.pc));
+    TCSIM_ASSERT(!isa::isCondBranch(inst.inst.op) ||
+                     golden.taken == inst.taken,
+                 "retired branch direction diverges at pc %llx seq %llu",
+                 static_cast<unsigned long long>(inst.pc),
+                 static_cast<unsigned long long>(inst.seq));
+    static const bool debug_retire =
+        std::getenv("TCSIM_DEBUG_RETIRE") != nullptr;
+    if (debug_retire) {
+        debugRetireLog_.emplace_back(
+            inst.pc, inst.inst.op, inst.seq,
+            inst.fetchGroup | (uint64_t(inst.active) << 56) |
+                (uint64_t(inst.endsBlock) << 57) |
+                (uint64_t(inst.followedDir) << 58) |
+                (uint64_t(inst.embeddedTaken) << 59) |
+                (uint64_t(inst.taken) << 60) |
+                (uint64_t(inst.source == fetch::FetchSource::TraceCache)
+                 << 61));
+        if (debugRetireLog_.size() > 48)
+            debugRetireLog_.pop_front();
+    }
+    ++oracleRetireIdx_;
+    // Retired entries are dead: fetch never looks below the retire
+    // boundary (recoveries resynchronize at or above it).
+    while (oracleBase_ < oracleRetireIdx_ && !oracleBuf_.empty()) {
+        oracleBuf_.pop_front();
+        ++oracleBase_;
+    }
+
+    const Opcode op = inst.inst.op;
+
+    // Architectural effects.
+    if (isa::writesReg(inst.inst)) {
+        archRegs_[inst.inst.rd] = inst.result;
+        if (!rat_[inst.inst.rd].isValue &&
+            rat_[inst.inst.rd].tag == inst.seq) {
+            rat_[inst.inst.rd] = RatEntry{true, inst.result,
+                                          kInvalidSeqNum};
+        }
+    }
+    if (inst.isStore()) {
+        memory_.store(inst.memAddr, inst.storeData);
+        hierarchy_.dcache().access(inst.memAddr, true);
+        TCSIM_ASSERT(!storeQueue_.empty() &&
+                     storeQueue_.front() == inst.seq);
+        storeQueue_.erase(storeQueue_.begin());
+    }
+
+    // Speculative-structure training and architectural mirrors.
+    if (isa::isCondBranch(op)) {
+        ++retiredCondBranches_;
+        archHistory_ = (archHistory_ << 1) |
+                       static_cast<std::uint64_t>(inst.taken);
+        if (inst.predictionValid) {
+            if (inst.usedHybrid)
+                hybrid_->update(inst.pc, inst.hybridCtx, inst.taken);
+            else
+                mbp_->update(inst.mbpCtx, inst.taken);
+        }
+        if (inst.promoted)
+            ++promotedRetired_;
+        if (inst.resolvedMispredict)
+            ++condMispredicts_;
+    } else if (isa::isCall(op)) {
+        archRas_.push_back(inst.pc + isa::kInstBytes);
+    } else if (isa::isReturn(op)) {
+        if (!archRas_.empty())
+            archRas_.pop_back();
+        ++retiredReturns_;
+        if (inst.resolvedMisfetch) {
+            ++indirectMispredicts_;
+            ++returnMisfetches_;
+        }
+    } else if (isa::isIndirectJump(op)) {
+        frontEnd_.indirect.update(inst.pc, inst.actualNextPc);
+        ++retiredIndirects_;
+        if (inst.resolvedMisfetch)
+            ++indirectMispredicts_;
+    } else if (op == Opcode::Trap) {
+        // Resume fetch unless another in-flight serializer remains.
+        serializeStall_ = false;
+        for (const InstSeqNum other : robOrder_) {
+            const DynInst *di = instFor(other);
+            if (di != nullptr && di->seq != inst.seq && di->active &&
+                !di->discarded && isa::isSerializing(di->inst.op)) {
+                serializeStall_ = true;
+                break;
+            }
+        }
+    } else if (op == Opcode::Halt) {
+        haltRetired_ = true;
+        done_ = true;
+    }
+
+    if (inst.endsBlock) {
+        TCSIM_ASSERT(outstandingCheckpoints_ > 0);
+        --outstandingCheckpoints_;
+    }
+
+    // Feed the fill unit from the retired stream.
+    if (fillUnit_ != nullptr) {
+        trace::RetiredInst retired;
+        retired.inst = inst.inst;
+        retired.pc = inst.pc;
+        retired.taken = inst.taken;
+        fillUnit_->retire(retired);
+    }
+
+    ++retiredInsts_;
+}
+
+void
+Processor::retireStage()
+{
+    unsigned retired = 0;
+    while (!robOrder_.empty() && retired < config_.retireWidth) {
+        const InstSeqNum seq = robOrder_.front();
+        // Never retire past a pending recovery point: everything
+        // younger is about to be squashed.
+        if (recoveryPending_ && seq > recovery_.keepSeq)
+            break;
+        DynInst *di = instFor(seq);
+        TCSIM_ASSERT(di != nullptr);
+        if (!di->executed)
+            break;
+        // An inactive instruction at the head is awaiting salvage
+        // activation (applied at end of cycle); hold it.
+        if (!di->active && !di->discarded)
+            break;
+        // Safety net: a resolution whose recovery request lost
+        // arbitration (to an older origin whose squash did not cover
+        // it) reaches the head unhandled; re-issue it now. In-order
+        // retire guarantees no wrong-path instruction can slip past.
+        if (di->active && !di->discarded && !di->recoveryApplied &&
+            (di->resolvedMispredict || di->resolvedFault ||
+             di->resolvedMisfetch)) {
+            di->followedDir = di->taken;
+            di->followedNextPc = di->actualNextPc;
+            RecoveryRequest req;
+            req.originSeq = di->seq;
+            req.keepSeq = di->seq;
+            req.redirect = di->actualNextPc;
+            req.cause = di->resolvedMisfetch
+                            ? CycleCategory::Misfetches
+                            : CycleCategory::BranchMisses;
+            requestRecovery(req);
+            break;
+        }
+        retireOne(*di);
+        robOrder_.pop_front();
+        di->seq = kInvalidSeqNum;
+        ++retired;
+        if (done_)
+            break;
+    }
+}
+
+// ----------------------------------------------------------------------
+// Top level.
+// ----------------------------------------------------------------------
+
+void
+Processor::step()
+{
+    ++cycle_;
+    retireStage();
+    if (done_)
+        return;
+    completeStage();
+    scheduleStage();
+    dispatchStage();
+    fetchStage();
+    applyRecovery();
+    if (maxInsts_ != 0 && retiredInsts_ >= maxInsts_)
+        done_ = true;
+}
+
+SimResult
+Processor::run(std::uint64_t max_insts)
+{
+    maxInsts_ = max_insts;
+    // A previous run() may have stopped at its instruction budget;
+    // resume unless the program actually halted.
+    if (!haltRetired_ &&
+        (maxInsts_ == 0 || retiredInsts_ < maxInsts_)) {
+        done_ = false;
+    }
+    const std::uint64_t cycle_budget =
+        (max_insts == 0 ? std::uint64_t{1} << 40
+                        : max_insts * kMaxCyclesPerInst + 1'000'000);
+    Cycle last_progress_cycle = 0;
+    std::uint64_t last_retired = 0;
+    while (!done_) {
+        step();
+        if (retiredInsts_ != last_retired) {
+            last_retired = retiredInsts_;
+            last_progress_cycle = cycle_;
+        } else if (cycle_ - last_progress_cycle > 99'980 &&
+                   std::getenv("TCSIM_TRACE") != nullptr) {
+            std::fprintf(stderr,
+                         "cyc=%llu pc=%llx rob=%zu fq=%zu ckpt=%u "
+                         "stall=%llu ser=%d rec=%d onP=%d ofi=%llu "
+                         "ori=%llu\n",
+                         (unsigned long long)cycle_,
+                         (unsigned long long)fetchPc_, robOrder_.size(),
+                         fetchQueue_.size(), outstandingCheckpoints_,
+                         (unsigned long long)icacheStallUntil_,
+                         (int)serializeStall_, (int)recoveryPending_,
+                         (int)onTruePath_,
+                         (unsigned long long)oracleFetchIdx_,
+                         (unsigned long long)oracleRetireIdx_);
+        }
+        if (cycle_ - last_progress_cycle > 100'000) {
+            fatal("no retirement progress for 100k cycles at cycle %llu "
+                  "(%llu retired; rob=%zu fetchq=%zu serialize=%d "
+                  "recovery=%d ckpts=%u icacheStall=%llu pc=%llx "
+                  "onPath=%d)",
+                  static_cast<unsigned long long>(cycle_),
+                  static_cast<unsigned long long>(retiredInsts_),
+                  robOrder_.size(), fetchQueue_.size(),
+                  static_cast<int>(serializeStall_),
+                  static_cast<int>(recoveryPending_),
+                  outstandingCheckpoints_,
+                  static_cast<unsigned long long>(icacheStallUntil_),
+                  static_cast<unsigned long long>(fetchPc_),
+                  static_cast<int>(onTruePath_));
+        }
+        if (cycle_ > cycle_budget) {
+            fatal("cycle budget exhausted: %llu cycles, %llu retired "
+                  "(deadlock?)",
+                  static_cast<unsigned long long>(cycle_),
+                  static_cast<unsigned long long>(retiredInsts_));
+        }
+    }
+    return makeResult();
+}
+
+void
+Processor::resetStats()
+{
+    accounting_.reset();
+    statBaseCycle_ = cycle_;
+    statBaseInsts_ = retiredInsts_;
+    retiredCondBranches_ = 0;
+    condMispredicts_ = 0;
+    promotedFaults_ = 0;
+    indirectMispredicts_ = 0;
+    returnMisfetches_ = 0;
+    retiredReturns_ = 0;
+    retiredIndirects_ = 0;
+    promotedRetired_ = 0;
+    resolutionTimeSum_ = 0;
+    resolutionTimeCount_ = 0;
+    memOrderViolations_ = 0;
+    for (auto &count : fetchesNeedingPreds_)
+        count = 0;
+    hierarchy_.icache().resetStats();
+    hierarchy_.dcache().resetStats();
+    hierarchy_.l2().resetStats();
+    if (traceCache_ != nullptr)
+        traceCache_->resetStats();
+    if (fillUnit_ != nullptr)
+        fillUnit_->resetStats();
+}
+
+SimResult
+Processor::makeResult() const
+{
+    SimResult result;
+    result.benchmark = program_.name();
+    result.config = config_.name;
+    result.instructions = retiredInsts_ - statBaseInsts_;
+    const Cycle window_cycles = cycle_ - statBaseCycle_;
+    result.cycles = window_cycles;
+    result.ipc = window_cycles == 0
+                     ? 0.0
+                     : static_cast<double>(result.instructions) /
+                           window_cycles;
+    result.effectiveFetchRate = accounting_.effectiveFetchRate();
+
+    result.condBranches = retiredCondBranches_;
+    result.condMispredicts = condMispredicts_ + promotedFaults_;
+    result.promotedFaults = promotedFaults_;
+    result.indirectMispredicts = indirectMispredicts_;
+    result.condMispredictRate =
+        retiredCondBranches_ == 0
+            ? 0.0
+            : static_cast<double>(result.condMispredicts) /
+                  retiredCondBranches_;
+    result.meanResolutionTime =
+        resolutionTimeCount_ == 0
+            ? 0.0
+            : static_cast<double>(resolutionTimeSum_) /
+                  resolutionTimeCount_;
+
+    const std::uint64_t useful = accounting_.usefulFetches();
+    if (useful > 0) {
+        result.fetchesNeeding01 =
+            static_cast<double>(fetchesNeedingPreds_[0] +
+                                fetchesNeedingPreds_[1]) /
+            useful;
+        result.fetchesNeeding2 =
+            static_cast<double>(fetchesNeedingPreds_[2]) / useful;
+        result.fetchesNeeding3 =
+            static_cast<double>(fetchesNeedingPreds_[3]) / useful;
+    }
+
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(CycleCategory::NumCategories); ++c) {
+        result.cycleCat[c] =
+            accounting_.categoryCycles(static_cast<CycleCategory>(c));
+    }
+    for (unsigned r = 0;
+         r < static_cast<unsigned>(FetchReason::NumReasons); ++r) {
+        for (unsigned w = 0; w <= Accounting::kMaxFetchWidth; ++w) {
+            result.fetchHist[r][w] = accounting_.fetchCount(
+                static_cast<FetchReason>(r), w);
+        }
+    }
+
+    if (traceCache_ != nullptr) {
+        result.tcLookups = traceCache_->lookups();
+        result.tcHits = traceCache_->hits();
+    }
+    result.icacheMisses = hierarchy_.icache().misses();
+    result.promotedRetired = promotedRetired_;
+
+    StatDump &dump = result.stats;
+    dump.add("sim.cycles", static_cast<double>(cycle_));
+    dump.add("sim.insts", static_cast<double>(retiredInsts_));
+    dump.add("sim.ipc", result.ipc);
+    dump.add("fetch.effective_rate", result.effectiveFetchRate);
+    dump.add("bpred.cond_branches",
+             static_cast<double>(retiredCondBranches_));
+    dump.add("bpred.cond_mispredicts",
+             static_cast<double>(result.condMispredicts));
+    dump.add("bpred.promoted_faults",
+             static_cast<double>(promotedFaults_));
+    dump.add("bpred.mispredict_rate", result.condMispredictRate);
+    dump.add("bpred.mean_resolution_time", result.meanResolutionTime);
+    dump.add("bpred.retired_returns", static_cast<double>(retiredReturns_));
+    dump.add("bpred.return_misfetches",
+             static_cast<double>(returnMisfetches_));
+    dump.add("bpred.retired_indirects",
+             static_cast<double>(retiredIndirects_));
+    dump.add("bpred.indirect_mispredicts",
+             static_cast<double>(indirectMispredicts_));
+    dump.add("mem.order_violations",
+             static_cast<double>(memOrderViolations_));
+    hierarchy_.dumpStats(dump);
+    if (traceCache_ != nullptr)
+        traceCache_->dumpStats(dump);
+    if (fillUnit_ != nullptr)
+        fillUnit_->dumpStats(dump);
+    return result;
+}
+
+} // namespace tcsim::sim

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * The processor: an executable-driven, wrong-path-modeling cycle
+ * simulator of the paper's pipeline (Figure 2): fetch -> issue ->
+ * schedule -> execute, with in-order retire feeding the fill unit.
+ *
+ * Key mechanisms:
+ *  - trace-cache or icache front end (fetch::FetchEngine) with
+ *    speculative history/RAS maintenance;
+ *  - value-based Tomasulo execution: renamed operands flow through
+ *    node tables and 16 universal functional units, so wrong paths
+ *    execute real (wrong) values and branch outcomes come from actual
+ *    execution;
+ *  - checkpoint-repair recovery implemented by rebuild: on recovery to
+ *    instruction X, younger instructions are squashed and the RAT,
+ *    global history and RAS are rebuilt from architectural state plus
+ *    the surviving in-flight window (bounded by the checkpoint pool,
+ *    which also throttles fetch exactly as the paper's 3-per-cycle
+ *    checkpoint constraint does);
+ *  - inactive issue: segment instructions beyond a partial-match
+ *    divergence dispatch into a shadow rename context; when the
+ *    diverging branch resolves against its prediction and along the
+ *    segment's embedded path they are salvaged (activated), otherwise
+ *    they retire as discarded no-ops;
+ *  - branch promotion faults: a promoted branch whose outcome differs
+ *    from its static direction recovers to the previous fetch-block
+ *    checkpoint and refetches with a one-shot direction override;
+ *  - an architectural oracle (FunctionalExecutor) classifies fetched
+ *    instructions as correct/wrong path for statistics, verifies the
+ *    retired stream, and supplies perfect memory disambiguation.
+ */
+
+#ifndef TCSIM_SIM_PROCESSOR_H
+#define TCSIM_SIM_PROCESSOR_H
+
+#include <array>
+#include <deque>
+#include <utility>
+#include <memory>
+#include <vector>
+
+#include "bpred/hybrid.h"
+#include "bpred/multi.h"
+#include "core/dyninst.h"
+#include "core/node_tables.h"
+#include "fetch/fetch_engine.h"
+#include "memory/hierarchy.h"
+#include "sim/accounting.h"
+#include "sim/config.h"
+#include "trace/fill_unit.h"
+#include "trace/trace_cache.h"
+#include "workload/executor.h"
+#include "workload/program.h"
+
+namespace tcsim::sim
+{
+
+/** The whole machine. */
+class Processor
+{
+  public:
+    Processor(const ProcessorConfig &config,
+              const workload::Program &program);
+    /** The processor stores a reference; temporaries are rejected. */
+    Processor(const ProcessorConfig &, workload::Program &&) = delete;
+    ~Processor();
+
+    Processor(const Processor &) = delete;
+    Processor &operator=(const Processor &) = delete;
+
+    /**
+     * Run until the program halts or @p max_insts instructions have
+     * retired.
+     * @return the collected metrics
+     */
+    SimResult run(std::uint64_t max_insts);
+
+    /** Advance the machine by one cycle (exposed for tests). */
+    void step();
+
+    /** @return true once Halt has retired (or max instructions hit). */
+    bool done() const { return done_; }
+
+    Cycle cycle() const { return cycle_; }
+    std::uint64_t retiredInsts() const { return retiredInsts_; }
+
+    const Accounting &accounting() const { return accounting_; }
+    const trace::TraceCache *traceCache() const { return traceCache_.get(); }
+    const trace::FillUnit *fillUnit() const { return fillUnit_.get(); }
+    memory::Hierarchy &hierarchy() { return hierarchy_; }
+
+    /** Build the result snapshot (also done by run()). */
+    SimResult makeResult() const;
+
+    /**
+     * Zero all statistics while keeping microarchitectural state
+     * (caches, predictors, bias table, in-flight window): run a
+     * warm-up phase, reset, then measure a steady-state window.
+     */
+    void resetStats();
+
+  private:
+    /** A fetched batch plus oracle classification metadata. */
+    struct PendingBatch
+    {
+        fetch::FetchBatch batch;
+        std::uint64_t group = 0;
+        Cycle fetchCycle = 0;
+        bool wasOnPath = false;
+        std::uint64_t oracleStart = 0;
+        unsigned correctPrefix = 0;
+    };
+    struct RecoveryRequest
+    {
+        InstSeqNum keepSeq = 0; ///< 0 = squash the whole window
+        /** Seq of the resolving instruction; arbitration keeps the
+         * architecturally oldest origin (NOT the smallest keepSeq: a
+         * young promoted fault backing up to the retire boundary must
+         * not beat an older branch's recovery). */
+        InstSeqNum originSeq = 0;
+        Addr redirect = kInvalidAddr;
+        CycleCategory cause = CycleCategory::BranchMisses;
+        bool countResolution = false;
+        Cycle predictedCycle = 0;
+        /** Salvage: activate (salvageFrom, keepSeq] before rebuild. */
+        bool salvage = false;
+        InstSeqNum salvageFrom = 0;
+        /** Promoted-fault override installed on apply. */
+        bool overrideValid = false;
+        Addr overridePc = 0;
+        bool overrideDir = false;
+        unsigned overrideSkip = 0;
+    };
+
+    // ------------------------------------------------------------------
+    // Oracle bookkeeping.
+    // ------------------------------------------------------------------
+    struct OracleEntry
+    {
+        workload::StepResult step;
+    };
+
+    void extendOracle(std::uint64_t upto_idx);
+    const workload::StepResult &oracleAt(std::uint64_t idx);
+
+    // ------------------------------------------------------------------
+    // Pipeline stages (called youngest-last each cycle).
+    // ------------------------------------------------------------------
+    void retireStage();
+    void completeStage();
+    void scheduleStage();
+    void dispatchStage();
+    void fetchStage();
+
+    // Helpers.
+    core::DynInst *instFor(InstSeqNum seq);
+    const core::DynInst *instFor(InstSeqNum seq) const;
+    core::DynInst &allocInst();
+    void wakeDependents(core::DynInst &producer);
+    bool operandsReady(const core::DynInst &inst) const;
+    void enqueueReady(core::DynInst &inst);
+    void executeInst(core::DynInst &inst);
+    bool tryScheduleMemory(core::DynInst &inst);
+    void resolveControl(core::DynInst &inst);
+    void requestRecovery(const RecoveryRequest &request);
+    void applyRecovery();
+    void squashYoungerThan(InstSeqNum keep_seq);
+    /** Rebuild RAT/history/RAS; @return the salvage redirect target
+     * (kInvalidAddr unless computing one was requested via @p tail). */
+    Addr rebuildSpeculativeState(const core::DynInst *tail);
+    void classifyFetchBatch(PendingBatch &pending);
+    void retireOne(core::DynInst &inst);
+    RegVal loadValueFor(core::DynInst &load, bool &forwarded);
+
+    // ------------------------------------------------------------------
+    // Configuration and substrate.
+    // ------------------------------------------------------------------
+    ProcessorConfig config_;
+    const workload::Program &program_;
+    memory::Hierarchy hierarchy_;
+    std::unique_ptr<trace::TraceCache> traceCache_;
+    std::unique_ptr<trace::FillUnit> fillUnit_;
+    std::unique_ptr<bpred::MultipleBranchPredictor> mbp_;
+    std::unique_ptr<bpred::HybridPredictor> hybrid_;
+    fetch::FrontEndState frontEnd_;
+    std::unique_ptr<fetch::FetchEngine> fetchEngine_;
+
+    // ------------------------------------------------------------------
+    // Oracle state.
+    // ------------------------------------------------------------------
+    std::unique_ptr<workload::FunctionalExecutor> oracle_;
+    std::deque<workload::StepResult> oracleBuf_;
+    std::uint64_t oracleBase_ = 0;   ///< index of oracleBuf_[0]
+    std::uint64_t oracleFetchIdx_ = 0;
+    std::uint64_t oracleRetireIdx_ = 0;
+    bool onTruePath_ = true;
+    CycleCategory offPathCause_ = CycleCategory::BranchMisses;
+
+    // ------------------------------------------------------------------
+    // Committed (architectural) state.
+    // ------------------------------------------------------------------
+    workload::SparseMemory memory_;
+    std::array<RegVal, isa::kNumArchRegs> archRegs_{};
+    std::vector<Addr> archRas_;
+    std::uint64_t archHistory_ = 0;
+
+    // ------------------------------------------------------------------
+    // Rename state.
+    // ------------------------------------------------------------------
+    struct RatEntry
+    {
+        bool isValue = true;
+        RegVal value = 0;
+        InstSeqNum tag = kInvalidSeqNum;
+    };
+    using Rat = std::array<RatEntry, isa::kNumArchRegs>;
+    Rat rat_;
+
+    // ------------------------------------------------------------------
+    // Window state.
+    // ------------------------------------------------------------------
+    std::vector<core::DynInst> robStorage_;
+    std::deque<InstSeqNum> robOrder_;
+    InstSeqNum nextSeq_ = 1;
+    core::NodeTables nodeTables_;
+    std::vector<InstSeqNum> storeQueue_; // sorted by seq
+    std::uint32_t outstandingCheckpoints_ = 0;
+
+    /**
+     * Memory dependence predictor (Speculative mode): 2-bit conflict
+     * counters indexed by load pc. A high counter makes the load wait
+     * for unknown-address older stores, like the conservative policy.
+     */
+    std::vector<std::uint8_t> memDepTable_;
+    std::uint64_t memOrderViolations_ = 0;
+
+    std::uint32_t memDepIndex(Addr pc) const;
+    bool memDepPredictsConflict(Addr pc) const;
+    void recordMemDepViolation(Addr load_pc);
+    void checkStoreOrderViolation(core::DynInst &store);
+
+    // ------------------------------------------------------------------
+    // Fetch state.
+    // ------------------------------------------------------------------
+    std::deque<PendingBatch> fetchQueue_;
+    fetch::FetchBatch scratchBatch_;
+    Addr fetchPc_ = 0;
+    std::uint64_t nextFetchGroup_ = 1;
+    Cycle icacheStallUntil_ = 0;
+    bool serializeStall_ = false;
+    Addr resumeAfterSerialize_ = kInvalidAddr;
+
+    // ------------------------------------------------------------------
+    // Recovery state (one recovery applied per cycle, oldest wins).
+    // ------------------------------------------------------------------
+    bool recoveryPending_ = false;
+    RecoveryRequest recovery_;
+
+    /** Completion events: (completeCycle, seq) min-heap. */
+    std::vector<std::pair<Cycle, InstSeqNum>> completionHeap_;
+
+    // ------------------------------------------------------------------
+    // Run state and statistics.
+    // ------------------------------------------------------------------
+    Cycle cycle_ = 0;
+    bool done_ = false;
+    bool haltRetired_ = false;
+    std::uint64_t retiredInsts_ = 0;
+    std::uint64_t maxInsts_ = 0;
+    /** Measurement-window baselines set by resetStats(). */
+    Cycle statBaseCycle_ = 0;
+    std::uint64_t statBaseInsts_ = 0;
+    Accounting accounting_;
+    std::deque<std::tuple<Addr, isa::Opcode, InstSeqNum, std::uint64_t>>
+        debugRetireLog_;
+    std::deque<std::tuple<Cycle, InstSeqNum, Addr, int, bool>>
+        debugRecoveryLog_;
+
+    std::uint64_t retiredCondBranches_ = 0;
+    std::uint64_t condMispredicts_ = 0;
+    std::uint64_t promotedFaults_ = 0;
+    std::uint64_t indirectMispredicts_ = 0;
+    std::uint64_t returnMisfetches_ = 0;
+    std::uint64_t retiredReturns_ = 0;
+    std::uint64_t retiredIndirects_ = 0;
+    std::uint64_t promotedRetired_ = 0;
+    std::uint64_t resolutionTimeSum_ = 0;
+    std::uint64_t resolutionTimeCount_ = 0;
+    std::uint64_t fetchesNeedingPreds_[4] = {0, 0, 0, 0};
+};
+
+} // namespace tcsim::sim
+
+#endif // TCSIM_SIM_PROCESSOR_H

@@ -1,0 +1,700 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/log.h"
+#include "workload/builder.h"
+
+namespace tcsim::workload
+{
+
+namespace
+{
+
+using isa::Opcode;
+
+// ----------------------------------------------------------------------
+// Register conventions for generated code.
+// ----------------------------------------------------------------------
+constexpr RegIndex kRa = isa::kRegRa; // r1: link register
+constexpr RegIndex kSp = 2;           // stack pointer
+constexpr RegIndex kRx = 3;           // global LCG state
+constexpr RegIndex kT0 = 4;           // condition scratch
+constexpr RegIndex kT1 = 5;           // condition scratch
+constexpr RegIndex kPtr = 6;          // function data-array pointer
+constexpr RegIndex kAddrTmp = 9;      // address computation scratch
+constexpr RegIndex kAcc0 = 10;        // r10..r17: payload accumulators
+constexpr unsigned kNumAcc = 8;
+constexpr RegIndex kCnt0 = 18;        // r18..r23: loop counters by depth
+constexpr RegIndex kLcgMul = 24;      // LCG multiplier constant
+constexpr RegIndex kRndBase = 25;     // random-region base constant
+constexpr RegIndex kSw0 = 26;         // switch scratch
+constexpr RegIndex kSw1 = 27;         // switch scratch
+constexpr RegIndex kOuter = 28;       // main outer-loop counter
+constexpr RegIndex kArg = 30;         // call argument
+
+/** Bytes of the per-function payload data array. */
+constexpr unsigned kFuncArrayBytes = 2048;
+
+/** Largest trip count that may use counter-indexed addressing. */
+constexpr unsigned kIndexableTrip = kFuncArrayBytes / 8 - 2;
+
+/** Work functions per dispatcher. */
+constexpr unsigned kBandSize = 12;
+
+/** Branch-bias categories for generated if sites. */
+enum class BiasKind { NeverTaken, Strong, Moderate, Random };
+
+/**
+ * Whole-program generator.
+ *
+ * The call structure is a strict three-level hierarchy that guarantees
+ * the entire code footprint is traversed once per outer iteration of
+ * main, while keeping call depth bounded:
+ *
+ *   main -> dispatcher_d -> work functions in band d -> leaf helpers
+ *
+ * "Mid" work functions (every third index) may additionally call leaf
+ * helpers a few indices ahead; leaves call nothing. Loop trip counts
+ * shrink with nesting depth so no single nest captures the dynamic
+ * stream.
+ */
+class Generator
+{
+  public:
+    explicit Generator(const BenchmarkProfile &profile)
+        : prof_(profile), rng_(profile.seed), builder_(profile.name)
+    {
+    }
+
+    Program run();
+
+  private:
+    struct FuncInfo
+    {
+        Label entry;
+        bool isMid = false;
+        Addr arrayBase = 0;
+    };
+
+    struct Ctx
+    {
+        unsigned funcIdx = 0;
+        unsigned loopDepth = 0;
+        unsigned ifDepth = 0;
+        /** Trip count of the innermost enclosing loop (0 if none). */
+        unsigned innerTrip = 0;
+        /** Product of enclosing trip counts; bounds nest work. */
+        unsigned tripProduct = 1;
+        /** Cold (never-executed) blocks to emit after the epilogue. */
+        std::vector<std::pair<Label, Label>> *coldBlocks = nullptr;
+        /** Set once the enclosing function has a high-trip kernel. */
+        bool *highTripUsed = nullptr;
+    };
+
+    static bool isMidIndex(unsigned idx) { return idx % 3 == 0; }
+
+    void emitMain();
+    void emitDispatcher(unsigned band);
+    void emitFunction(unsigned idx);
+    void emitStatements(Ctx &ctx, unsigned count);
+    void emitStatement(Ctx &ctx);
+    void emitLoop(Ctx &ctx);
+    void emitIf(Ctx &ctx);
+    void emitSwitch(Ctx &ctx);
+    void emitCall(Ctx &ctx);
+    void emitBlock(Ctx &ctx);
+    void emitPayloadInst(Ctx &ctx);
+    void emitLcgUpdate();
+
+    /** @return the index of a leaf helper callable from @p idx, or
+     * numFunctions if none exists. */
+    unsigned leafCalleeFor(unsigned idx);
+
+    void emitBiasedBranch(BiasKind kind, bool prefer_taken, Label target);
+    BiasKind pickBiasKind();
+
+    const BenchmarkProfile &prof_;
+    Rng rng_;
+    ProgramBuilder builder_;
+    std::vector<FuncInfo> funcs_;      // work functions
+    std::vector<Label> dispatchers_;
+    Addr rndRegionBase_ = 0;
+    unsigned rndRegionMask_ = 0; // word-index mask
+    unsigned accRoundRobin_ = 0;
+    RegIndex lastAccWritten_ = kAcc0;
+    unsigned blocksSinceLcg_ = 0;
+    unsigned shiftRoundRobin_ = 0;
+    /** Per-function LCG bit position; sites within a function test
+     * correlated bits so global history stays compressible. */
+    unsigned funcShift_ = 16;
+};
+
+Program
+Generator::run()
+{
+    TCSIM_ASSERT(prof_.numFunctions >= 2);
+    TCSIM_ASSERT(prof_.maxLoopDepth >= 1 && prof_.maxLoopDepth <= 6);
+
+    // Random-access region (power-of-two word count, masked accesses).
+    unsigned ws_bytes = std::max(1u, prof_.dataWorkingSetKB) * 1024;
+    ws_bytes = std::min(ws_bytes, 256u * 1024); // mask fits andi imm
+    unsigned words = 1;
+    while (words * 2 * 8 <= ws_bytes)
+        words *= 2;
+    rndRegionMask_ = words - 1;
+    rndRegionBase_ = builder_.allocData(words * 8);
+    for (unsigned w = 0; w < words; w += 8)
+        builder_.setData(rndRegionBase_ + Addr{w} * 8, rng_.next());
+
+    // Pre-create all function labels and data arrays so call sites and
+    // prologues can reference them before bodies exist.
+    funcs_.resize(prof_.numFunctions);
+    for (unsigned i = 0; i < prof_.numFunctions; ++i) {
+        funcs_[i].entry = builder_.newLabel();
+        funcs_[i].isMid = isMidIndex(i);
+        funcs_[i].arrayBase = builder_.allocData(kFuncArrayBytes);
+        for (unsigned w = 0; w < kFuncArrayBytes / 8; w += 4) {
+            builder_.setData(funcs_[i].arrayBase + Addr{w} * 8,
+                             rng_.next());
+        }
+    }
+    const unsigned num_bands =
+        (prof_.numFunctions + kBandSize - 1) / kBandSize;
+    dispatchers_.reserve(num_bands);
+    for (unsigned d = 0; d < num_bands; ++d)
+        dispatchers_.push_back(builder_.newLabel());
+
+    emitMain();
+    for (unsigned d = 0; d < num_bands; ++d)
+        emitDispatcher(d);
+    for (unsigned i = 0; i < prof_.numFunctions; ++i)
+        emitFunction(i);
+
+    return builder_.build();
+}
+
+void
+Generator::emitMain()
+{
+    Label entry = builder_.here();
+    builder_.setEntry(entry);
+
+    builder_.loadImm64(kSp, kStackTop);
+    builder_.loadImm64(kRx, static_cast<std::uint32_t>(prof_.seed) | 1u);
+    builder_.loadImm64(kLcgMul, 1664525);
+    builder_.loadImm64(kRndBase, rndRegionBase_);
+    builder_.loadImm64(kPtr, funcs_[0].arrayBase);
+    builder_.loadImm64(kOuter, 1'000'000'000);
+
+    Label outer = builder_.here();
+    for (Label dispatcher : dispatchers_) {
+        builder_.addi(kArg, isa::kRegZero,
+                      static_cast<std::int32_t>(rng_.below(256)));
+        builder_.call(dispatcher);
+    }
+    emitLcgUpdate();
+    builder_.addi(kOuter, kOuter, -1);
+    builder_.bne(kOuter, isa::kRegZero, outer);
+    builder_.halt();
+}
+
+void
+Generator::emitDispatcher(unsigned band)
+{
+    builder_.bind(dispatchers_[band]);
+    builder_.addi(kSp, kSp, -32);
+    builder_.st(kRa, 0, kSp);
+    builder_.st(kCnt0, 8, kSp);
+
+    // Real programs have strong temporal skew: a fifth of the
+    // functions are hot (called several times per pass), most are
+    // warm, and a fraction are cold error/setup paths.
+    const unsigned lo = band * kBandSize;
+    const unsigned hi =
+        std::min<unsigned>(lo + kBandSize, prof_.numFunctions);
+    for (unsigned f = lo; f < hi; ++f) {
+        Ctx glue;
+        glue.funcIdx = f;
+        const unsigned n = 1 + static_cast<unsigned>(rng_.below(3));
+        for (unsigned i = 0; i < n; ++i)
+            emitPayloadInst(glue);
+
+        const unsigned role = f % 5;
+        if (role == 1) {
+            // Hot: call in a short loop.
+            const auto reps =
+                static_cast<std::int32_t>(3 + rng_.below(3));
+            builder_.addi(kCnt0, isa::kRegZero, reps);
+            Label top = builder_.here();
+            builder_.call(funcs_[f].entry);
+            builder_.addi(kCnt0, kCnt0, -1);
+            builder_.bne(kCnt0, isa::kRegZero, top);
+        } else if (role == 4) {
+            // Cold: guarded by a strongly biased skip.
+            Label skip = builder_.newLabel();
+            emitBiasedBranch(BiasKind::Strong, true, skip);
+            builder_.call(funcs_[f].entry);
+            builder_.bind(skip);
+        } else if (rng_.chance(0.25)) {
+            // Warm with occasional skips, so behaviour varies.
+            Label skip = builder_.newLabel();
+            emitBiasedBranch(BiasKind::Moderate, false, skip);
+            builder_.call(funcs_[f].entry);
+            builder_.bind(skip);
+        } else {
+            builder_.call(funcs_[f].entry);
+        }
+    }
+
+    builder_.ld(kRa, 0, kSp);
+    builder_.ld(kCnt0, 8, kSp);
+    builder_.addi(kSp, kSp, 32);
+    builder_.ret();
+}
+
+unsigned
+Generator::leafCalleeFor(unsigned idx)
+{
+    // Leaves are the non-mid indices; search a short span ahead.
+    for (unsigned step = 1; step <= 8; ++step) {
+        const unsigned candidate =
+            idx + 1 + static_cast<unsigned>(rng_.below(8));
+        if (candidate < prof_.numFunctions && !isMidIndex(candidate))
+            return candidate;
+    }
+    return prof_.numFunctions;
+}
+
+void
+Generator::emitFunction(unsigned idx)
+{
+    FuncInfo &fn = funcs_[idx];
+    funcShift_ = 16 + (idx * 5) % 20;
+    builder_.bind(fn.entry);
+
+    // Frame: [0] ra (mid functions call helpers), [8] ptr,
+    // [16..] loop counters.
+    const unsigned slots = 2 + prof_.maxLoopDepth;
+    const unsigned frame = (slots * 8 + 15) & ~15u;
+    builder_.addi(kSp, kSp, -static_cast<std::int32_t>(frame));
+    if (fn.isMid)
+        builder_.st(kRa, 0, kSp);
+    builder_.st(kPtr, 8, kSp);
+    for (unsigned d = 0; d < prof_.maxLoopDepth; ++d)
+        builder_.st(static_cast<RegIndex>(kCnt0 + d),
+                    16 + 8 * static_cast<std::int32_t>(d), kSp);
+    builder_.loadImm64(kPtr, fn.arrayBase);
+
+    std::vector<std::pair<Label, Label>> cold_blocks;
+    bool high_trip_used = false;
+    Ctx ctx;
+    ctx.funcIdx = idx;
+    ctx.coldBlocks = &cold_blocks;
+    ctx.highTripUsed = &high_trip_used;
+
+    const unsigned num_stmts = std::max<unsigned>(
+        3, rng_.geometric(prof_.avgStatementsPerFunction, 3));
+    emitStatements(ctx, num_stmts);
+
+    // Epilogue.
+    if (fn.isMid)
+        builder_.ld(kRa, 0, kSp);
+    builder_.ld(kPtr, 8, kSp);
+    for (unsigned d = 0; d < prof_.maxLoopDepth; ++d)
+        builder_.ld(static_cast<RegIndex>(kCnt0 + d),
+                    16 + 8 * static_cast<std::int32_t>(d), kSp);
+    builder_.addi(kSp, kSp, static_cast<std::int32_t>(frame));
+    builder_.ret();
+
+    // Cold error paths referenced by never-taken branches. They only
+    // execute on wrong paths; each returns to its join point in case
+    // speculation wanders in.
+    for (const auto &[cold_label, join_label] : cold_blocks) {
+        builder_.bind(cold_label);
+        const unsigned n = 2 + static_cast<unsigned>(rng_.below(4));
+        for (unsigned i = 0; i < n; ++i)
+            emitPayloadInst(ctx);
+        builder_.j(join_label);
+    }
+}
+
+void
+Generator::emitStatements(Ctx &ctx, unsigned count)
+{
+    for (unsigned i = 0; i < count; ++i)
+        emitStatement(ctx);
+}
+
+void
+Generator::emitStatement(Ctx &ctx)
+{
+    double roll = rng_.uniform();
+
+    if (roll < prof_.loopProb) {
+        if (ctx.loopDepth < prof_.maxLoopDepth) {
+            emitLoop(ctx);
+            return;
+        }
+        roll = 1.0; // fall through to a plain block
+    } else {
+        roll -= prof_.loopProb;
+    }
+
+    if (roll < prof_.ifProb && ctx.ifDepth < 3) {
+        emitIf(ctx);
+        return;
+    }
+    roll -= prof_.ifProb;
+
+    if (roll < prof_.callProb && funcs_[ctx.funcIdx].isMid &&
+        ctx.tripProduct <= 8) {
+        emitCall(ctx);
+        return;
+    }
+    roll -= prof_.callProb;
+
+    if (roll < prof_.switchProb && ctx.ifDepth == 0 &&
+        ctx.tripProduct <= 32) {
+        emitSwitch(ctx);
+        return;
+    }
+    roll -= prof_.switchProb;
+
+    if (roll < prof_.trapProb && ctx.loopDepth == 0 && ctx.ifDepth == 0) {
+        // Traps serialize the pipeline; real programs take them at a
+        // low rate (system calls), never inside hot inner loops.
+        builder_.trap();
+        return;
+    }
+
+    emitBlock(ctx);
+}
+
+void
+Generator::emitLoop(Ctx &ctx)
+{
+    const bool outermost = ctx.loopDepth == 0;
+    unsigned trip;
+    bool high_trip = false;
+    if (outermost && ctx.highTripUsed != nullptr && !*ctx.highTripUsed &&
+        rng_.chance(prof_.highTripFrac)) {
+        *ctx.highTripUsed = true;
+        // High-trip kernels sit well above the paper's promotion
+        // thresholds, so their latches promote and fault only once
+        // per loop visit (<1% of latch executions).
+        trip = rng_.geometric(std::max(prof_.highTripCount, 150.0), 120);
+        trip = std::min<unsigned>(
+            trip, static_cast<unsigned>(4 * prof_.highTripCount));
+        high_trip = true;
+    } else if (outermost) {
+        // Ordinary loops stay below the default promotion threshold
+        // (64): their latches are strongly biased but not promotable
+        // at threshold 64, exactly the population the paper's lower
+        // thresholds (8-32) prematurely promote.
+        trip = rng_.geometric(prof_.avgTripCount, 2);
+        trip = std::min<unsigned>(
+            trip,
+            std::min<unsigned>(
+                static_cast<unsigned>(4 * prof_.avgTripCount), 60u));
+    } else {
+        // Inner loops stay moderate (learnable by 15-bit local
+        // history), and shrink under big outer trips so no single
+        // nest captures the dynamic stream.
+        const unsigned cap = std::clamp(1200 / ctx.tripProduct, 4u, 14u);
+        trip = rng_.geometric(std::min(prof_.avgTripCount, 9.0), 4);
+        trip = std::min(trip, cap);
+    }
+    trip = std::min(trip, 2000u);
+
+    const auto cnt = static_cast<RegIndex>(kCnt0 + ctx.loopDepth);
+    builder_.addi(cnt, isa::kRegZero, static_cast<std::int32_t>(trip));
+    Label top = builder_.here();
+
+    Ctx body = ctx;
+    ++body.loopDepth;
+    body.innerTrip = trip;
+    body.tripProduct =
+        std::min(1'000'000u, ctx.tripProduct * std::max(trip, 1u));
+    if (high_trip) {
+        // High-trip loops model tight kernels: payload only.
+        emitBlock(body);
+        if (rng_.chance(0.5))
+            emitBlock(body);
+    } else {
+        emitStatements(body, 1 + static_cast<unsigned>(rng_.below(2)));
+    }
+
+    builder_.addi(cnt, cnt, -1);
+    builder_.bne(cnt, isa::kRegZero, top);
+}
+
+BiasKind
+Generator::pickBiasKind()
+{
+    double roll = rng_.uniform();
+    if (roll < prof_.fracNeverTaken)
+        return BiasKind::NeverTaken;
+    roll -= prof_.fracNeverTaken;
+    if (roll < prof_.fracStronglyBiased)
+        return BiasKind::Strong;
+    roll -= prof_.fracStronglyBiased;
+    if (roll < prof_.fracModeratelyBiased)
+        return BiasKind::Moderate;
+    return BiasKind::Random;
+}
+
+void
+Generator::emitBiasedBranch(BiasKind kind, bool prefer_taken, Label target)
+{
+    // Sites within a function share two bit positions, so their
+    // outcomes are mutually correlated while the LCG value holds --
+    // real branch streams are compressible, not IID noise.
+    const unsigned shift = funcShift_ + (shiftRoundRobin_++ % 2) * 4;
+
+    switch (kind) {
+      case BiasKind::NeverTaken:
+        if (rng_.chance(0.5)) {
+            // Structurally never taken: r0 != r0.
+            builder_.bne(isa::kRegZero, isa::kRegZero, target);
+        } else {
+            // Data-opaque never taken: kLcgMul (1664525) < 1 is false.
+            builder_.slti(kT0, kLcgMul, 1);
+            builder_.bne(kT0, isa::kRegZero, target);
+        }
+        return;
+
+      case BiasKind::Strong: {
+        // Off-direction probability m/1024, m in [1, 8].
+        const auto m = static_cast<std::int32_t>(1 + rng_.below(8));
+        builder_.srli(kT0, kRx, static_cast<std::int32_t>(shift));
+        builder_.andi(kT0, kT0, 1023);
+        builder_.slti(kT1, kT0, m);
+        if (prefer_taken)
+            builder_.beq(kT1, isa::kRegZero, target); // taken 1 - m/1024
+        else
+            builder_.bne(kT1, isa::kRegZero, target); // taken m/1024
+        return;
+      }
+
+      case BiasKind::Moderate: {
+        // Off-direction probability m/256, m in [20, 38] (~8-15%).
+        const auto m = static_cast<std::int32_t>(20 + rng_.below(19));
+        builder_.srli(kT0, kRx, static_cast<std::int32_t>(shift));
+        builder_.andi(kT0, kT0, 255);
+        builder_.slti(kT1, kT0, m);
+        if (prefer_taken)
+            builder_.beq(kT1, isa::kRegZero, target);
+        else
+            builder_.bne(kT1, isa::kRegZero, target);
+        return;
+      }
+
+      case BiasKind::Random: {
+        // Off-direction probability in [0.25, 0.37]: even "hard"
+        // branches are rarely pure coin flips.
+        builder_.srli(kT0, kRx, static_cast<std::int32_t>(shift));
+        builder_.andi(kT0, kT0, 255);
+        const auto m = static_cast<std::int32_t>(64 + rng_.below(31));
+        builder_.slti(kT1, kT0, m);
+        if (prefer_taken)
+            builder_.bne(kT1, isa::kRegZero, target);
+        else
+            builder_.beq(kT1, isa::kRegZero, target);
+        return;
+      }
+    }
+}
+
+void
+Generator::emitIf(Ctx &ctx)
+{
+    const BiasKind kind = pickBiasKind();
+    Ctx inner = ctx;
+    ++inner.ifDepth;
+
+    if (kind == BiasKind::NeverTaken) {
+        // An error check branching to an out-of-line cold block.
+        Label cold = builder_.newLabel();
+        emitBiasedBranch(kind, true, cold);
+        Label join = builder_.here();
+        ctx.coldBlocks->emplace_back(cold, join);
+        emitBlock(inner);
+        return;
+    }
+
+    const bool has_else = rng_.chance(0.4);
+    const bool prefer_taken = rng_.chance(0.5);
+
+    if (has_else) {
+        Label else_label = builder_.newLabel();
+        Label join = builder_.newLabel();
+        emitBiasedBranch(kind, prefer_taken, else_label);
+        emitStatements(inner, 1);
+        builder_.j(join);
+        builder_.bind(else_label);
+        emitStatements(inner, 1);
+        builder_.bind(join);
+    } else {
+        // Branch over the then-block.
+        Label join = builder_.newLabel();
+        emitBiasedBranch(kind, prefer_taken, join);
+        emitStatements(inner, 1);
+        builder_.bind(join);
+    }
+}
+
+void
+Generator::emitSwitch(Ctx &ctx)
+{
+    const unsigned cases = 2u << rng_.below(3); // 2, 4 or 8
+    const Addr table = builder_.allocData(cases * 8);
+
+    // Real dispatch targets are heavily skewed (one hot opcode /
+    // message type); three quarters of the table entries map to the
+    // first case so the last-target predictor has a fighting chance.
+    std::vector<Label> case_labels(cases);
+    for (unsigned c = 0; c < cases; ++c)
+        case_labels[c] = builder_.newLabel();
+    for (unsigned e = 0; e < cases; ++e) {
+        const unsigned target_case =
+            cases <= 2 ? e : (e % 4 == 0 ? 1 + e / 4 : 0);
+        builder_.setDataLabel(table + Addr{e} * 8,
+                              case_labels[std::min(target_case,
+                                                   cases - 1)]);
+    }
+
+    const unsigned shift = funcShift_;
+    builder_.srli(kSw0, kRx, static_cast<std::int32_t>(shift));
+    builder_.andi(kSw0, kSw0, static_cast<std::int32_t>(cases - 1));
+    builder_.slli(kSw0, kSw0, 3);
+    builder_.loadImm64(kSw1, table);
+    builder_.add(kSw0, kSw0, kSw1);
+    builder_.ld(kSw0, 0, kSw0);
+    builder_.jr(kSw0);
+
+    Label join = builder_.newLabel();
+    Ctx inner = ctx;
+    ++inner.ifDepth;
+    for (unsigned c = 0; c < cases; ++c) {
+        builder_.bind(case_labels[c]);
+        emitBlock(inner);
+        builder_.j(join);
+    }
+    builder_.bind(join);
+}
+
+void
+Generator::emitCall(Ctx &ctx)
+{
+    const unsigned callee = leafCalleeFor(ctx.funcIdx);
+    if (callee >= prof_.numFunctions) {
+        emitBlock(ctx);
+        return;
+    }
+    builder_.addi(kArg, isa::kRegZero,
+                  static_cast<std::int32_t>(rng_.below(256)));
+    builder_.call(funcs_[callee].entry);
+}
+
+void
+Generator::emitBlock(Ctx &ctx)
+{
+    if (++blocksSinceLcg_ >= 4) {
+        emitLcgUpdate();
+        blocksSinceLcg_ = 0;
+    }
+    const unsigned len =
+        std::min(12u, rng_.geometric(prof_.avgBlockSize, 1));
+    for (unsigned i = 0; i < len; ++i)
+        emitPayloadInst(ctx);
+}
+
+void
+Generator::emitLcgUpdate()
+{
+    builder_.mul(kRx, kRx, kLcgMul);
+    builder_.addi(kRx, kRx, 12345);
+}
+
+void
+Generator::emitPayloadInst(Ctx &ctx)
+{
+    const double roll = rng_.uniform();
+    const auto acc = static_cast<RegIndex>(kAcc0 + accRoundRobin_);
+    accRoundRobin_ = (accRoundRobin_ + 1) % kNumAcc;
+
+    if (roll < prof_.loadFrac) {
+        if (rng_.chance(prof_.randomAccessFrac)) {
+            // Random-region load: masked index off the LCG state.
+            builder_.srli(kT0, kRx, 8);
+            builder_.andi(kT0, kT0,
+                          static_cast<std::int32_t>(
+                              std::min(rndRegionMask_, 0x7fffu)));
+            builder_.slli(kT0, kT0, 3);
+            builder_.add(kAddrTmp, kRndBase, kT0);
+            builder_.ld(acc, 0, kAddrTmp);
+        } else if (ctx.innerTrip != 0 && ctx.innerTrip <= kIndexableTrip &&
+                   rng_.chance(0.3)) {
+            // Counter-indexed load from the function array.
+            const auto cnt =
+                static_cast<RegIndex>(kCnt0 + ctx.loopDepth - 1);
+            builder_.slli(kAddrTmp, cnt, 3);
+            builder_.add(kAddrTmp, kPtr, kAddrTmp);
+            builder_.ld(acc, 0, kAddrTmp);
+        } else {
+            const auto off = static_cast<std::int32_t>(
+                rng_.below(kFuncArrayBytes / 8) * 8);
+            builder_.ld(acc, off, kPtr);
+        }
+        lastAccWritten_ = acc;
+        return;
+    }
+
+    if (roll < prof_.loadFrac + prof_.storeFrac) {
+        const auto off = static_cast<std::int32_t>(
+            rng_.below(kFuncArrayBytes / 8) * 8);
+        builder_.st(lastAccWritten_, off, kPtr);
+        return;
+    }
+
+    // ALU payload with a mix of chained and independent operands.
+    const RegIndex src1 =
+        rng_.chance(0.6) ? lastAccWritten_
+                         : static_cast<RegIndex>(kAcc0 + rng_.below(kNumAcc));
+    const auto src2 = static_cast<RegIndex>(kAcc0 + rng_.below(kNumAcc));
+    const double op_roll = rng_.uniform();
+    if (op_roll < 0.30) {
+        builder_.add(acc, src1, src2);
+    } else if (op_roll < 0.50) {
+        builder_.xor_(acc, src1, src2);
+    } else if (op_roll < 0.65) {
+        builder_.sub(acc, src1, src2);
+    } else if (op_roll < 0.80) {
+        builder_.addi(acc, src1,
+                      static_cast<std::int32_t>(rng_.below(1024)));
+    } else if (op_roll < 0.90) {
+        builder_.slli(acc, src1,
+                      static_cast<std::int32_t>(1 + rng_.below(7)));
+    } else if (op_roll < 0.97) {
+        builder_.or_(acc, src1, src2);
+    } else if (op_roll < 0.995) {
+        builder_.mul(acc, src1, src2);
+    } else {
+        builder_.div(acc, src1, src2);
+    }
+    lastAccWritten_ = acc;
+}
+
+} // namespace
+
+Program
+generateProgram(const BenchmarkProfile &profile)
+{
+    Generator generator(profile);
+    return generator.run();
+}
+
+} // namespace tcsim::workload

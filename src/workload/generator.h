@@ -1,0 +1,29 @@
+/**
+ * @file
+ * CFG-based synthetic program generation.
+ *
+ * Generates a self-contained µRISC executable from a BenchmarkProfile:
+ * a main driver loop calling a DAG of functions whose bodies are built
+ * from straight-line blocks, counted loops, biased conditionals,
+ * indirect switches, call sites and rare traps. All branch outcomes
+ * are data-driven (loop counters or a program-computed pseudo-random
+ * stream), so the program is honestly executable — including down
+ * wrong paths.
+ */
+
+#ifndef TCSIM_WORKLOAD_GENERATOR_H
+#define TCSIM_WORKLOAD_GENERATOR_H
+
+#include "common/rng.h"
+#include "workload/profile.h"
+#include "workload/program.h"
+
+namespace tcsim::workload
+{
+
+/** Generate the program described by @p profile. */
+Program generateProgram(const BenchmarkProfile &profile);
+
+} // namespace tcsim::workload
+
+#endif // TCSIM_WORKLOAD_GENERATOR_H

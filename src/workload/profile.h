@@ -1,0 +1,120 @@
+/**
+ * @file
+ * BenchmarkProfile: the statistical knobs that shape a synthetic
+ * workload.
+ *
+ * The paper evaluated SPECint95 plus common UNIX applications. We do
+ * not have those binaries (nor SimpleScalar to run them), so each
+ * benchmark is modeled by a profile that controls the properties the
+ * trace cache, branch predictor and memory system actually respond
+ * to: static code footprint, basic-block sizes, the branch-bias
+ * mixture, loop trip counts, call/indirect/trap frequency, and data
+ * working-set size. See DESIGN.md section 2 for the substitution
+ * rationale.
+ */
+
+#ifndef TCSIM_WORKLOAD_PROFILE_H
+#define TCSIM_WORKLOAD_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcsim::workload
+{
+
+/** Generation parameters for one synthetic benchmark. */
+struct BenchmarkProfile
+{
+    /** Benchmark name (paper benchmark it stands in for). */
+    std::string name;
+
+    /** Seed for all generation randomness. */
+    std::uint64_t seed = 1;
+
+    // ------------------------------------------------------------------
+    // Static code shape.
+    // ------------------------------------------------------------------
+
+    /** Number of generated functions (beyond main). */
+    unsigned numFunctions = 40;
+
+    /** Mean number of statements (structures) per function body. */
+    double avgStatementsPerFunction = 9.0;
+
+    /** Mean payload (non-control) instructions per basic block. */
+    double avgBlockSize = 4.0;
+
+    /** Maximum loop nesting depth within a function. */
+    unsigned maxLoopDepth = 2;
+
+    // ------------------------------------------------------------------
+    // Statement mix (probabilities; remainder is straight-line blocks).
+    // ------------------------------------------------------------------
+
+    double loopProb = 0.22;   ///< statement is a counted loop
+    double ifProb = 0.34;     ///< statement is an if or if-else
+    double callProb = 0.18;   ///< statement is a call site
+    double switchProb = 0.01; ///< statement is an indirect switch
+    double trapProb = 0.0005; ///< statement is a serializing trap
+
+    // ------------------------------------------------------------------
+    // Loop behaviour.
+    // ------------------------------------------------------------------
+
+    /** Mean trip count of ordinary loops. */
+    double avgTripCount = 12.0;
+
+    /** Fraction of loops with high trip counts (promotable latches). */
+    double highTripFrac = 0.15;
+
+    /** Mean trip count of high-trip loops. */
+    double highTripCount = 300.0;
+
+    // ------------------------------------------------------------------
+    // If-branch bias mixture (fractions of if sites; must sum <= 1;
+    // the remainder are ~50/50 unpredictable branches).
+    // ------------------------------------------------------------------
+
+    /** Structurally never-taken checks (assertions, error paths). */
+    double fracNeverTaken = 0.30;
+
+    /** ~1/128..1/1024 off-direction, data-driven. */
+    double fracStronglyBiased = 0.25;
+
+    /** ~10-25% off-direction. */
+    double fracModeratelyBiased = 0.25;
+
+    // ------------------------------------------------------------------
+    // Memory behaviour.
+    // ------------------------------------------------------------------
+
+    /** Probability a payload instruction is a load. */
+    double loadFrac = 0.22;
+
+    /** Probability a payload instruction is a store. */
+    double storeFrac = 0.10;
+
+    /** Random-access data working set, in KB (vs the 64 KB L1D). */
+    unsigned dataWorkingSetKB = 32;
+
+    /** Fraction of loads that hit the random-access region. */
+    double randomAccessFrac = 0.15;
+
+    // ------------------------------------------------------------------
+    // Experiment defaults.
+    // ------------------------------------------------------------------
+
+    /** Default dynamic instruction budget for experiments. */
+    std::uint64_t defaultMaxInsts = 2'000'000;
+};
+
+/** @return the 15-benchmark suite mirroring the paper's Table 1. */
+const std::vector<BenchmarkProfile> &benchmarkSuite();
+
+/** @return the suite profile with the given name; fatal if absent. */
+const BenchmarkProfile &findProfile(const std::string &name);
+
+} // namespace tcsim::workload
+
+#endif // TCSIM_WORKLOAD_PROFILE_H

@@ -1,0 +1,22 @@
+#include "workload/program.h"
+
+#include <utility>
+
+#include "common/log.h"
+
+namespace tcsim::workload
+{
+
+Program::Program(std::string name, Addr code_base,
+                 std::vector<isa::Instruction> code,
+                 std::map<Addr, std::uint64_t> init_data, Addr entry)
+    : name_(std::move(name)), codeBase_(code_base), entry_(entry),
+      code_(std::move(code)), data_(std::move(init_data))
+{
+    TCSIM_ASSERT(!code_.empty(), "program has no code");
+    TCSIM_ASSERT((codeBase_ & (isa::kInstBytes - 1)) == 0,
+                 "misaligned code base");
+    TCSIM_ASSERT(isCode(entry_), "entry point outside code segment");
+}
+
+} // namespace tcsim::workload

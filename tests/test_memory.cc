@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the cache model and the assembled hierarchy: hits, misses,
+ * LRU replacement, write-back accounting, and latency composition.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/cache.h"
+#include "memory/hierarchy.h"
+
+namespace tcsim::memory
+{
+namespace
+{
+
+CacheParams
+smallCache()
+{
+    // 2 sets x 2 ways x 64B lines = 256 B.
+    return CacheParams{"test", 256, 2, 64, 0};
+}
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache cache(smallCache(), nullptr, 50);
+    EXPECT_EQ(cache.access(0x1000, false), 50u);
+    EXPECT_EQ(cache.access(0x1000, false), 0u);
+    EXPECT_EQ(cache.access(0x1030, false), 0u); // same line
+    EXPECT_EQ(cache.accesses(), 3u);
+    EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(Cache, SetConflictEvictsLru)
+{
+    Cache cache(smallCache(), nullptr, 50);
+    // Three lines mapping to set 0 (line addr even): 0x000, 0x100, 0x200.
+    cache.access(0x000, false);
+    cache.access(0x100, false);
+    cache.access(0x000, false); // touch: 0x100 becomes LRU
+    cache.access(0x200, false); // evicts 0x100
+    EXPECT_EQ(cache.access(0x000, false), 0u);
+    EXPECT_NE(cache.access(0x100, false), 0u); // was evicted
+}
+
+TEST(Cache, ProbeDoesNotFill)
+{
+    Cache cache(smallCache(), nullptr, 50);
+    EXPECT_FALSE(cache.probe(0x1000));
+    EXPECT_EQ(cache.misses(), 0u);
+    cache.access(0x1000, false);
+    EXPECT_TRUE(cache.probe(0x1000));
+}
+
+TEST(Cache, WritebackOnDirtyEviction)
+{
+    Cache cache(smallCache(), nullptr, 50);
+    cache.access(0x000, true); // dirty
+    cache.access(0x100, false);
+    cache.access(0x200, false); // evicts dirty 0x000
+    EXPECT_EQ(cache.writebacks(), 1u);
+}
+
+TEST(Cache, CleanEvictionNoWriteback)
+{
+    Cache cache(smallCache(), nullptr, 50);
+    cache.access(0x000, false);
+    cache.access(0x100, false);
+    cache.access(0x200, false);
+    EXPECT_EQ(cache.writebacks(), 0u);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache cache(smallCache(), nullptr, 50);
+    cache.access(0x1000, false);
+    cache.flush();
+    EXPECT_FALSE(cache.probe(0x1000));
+    EXPECT_NE(cache.access(0x1000, false), 0u);
+}
+
+TEST(Cache, MissRatio)
+{
+    Cache cache(smallCache(), nullptr, 50);
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    cache.access(0x0, false);
+    EXPECT_DOUBLE_EQ(cache.missRatio(), 0.25);
+}
+
+TEST(Cache, LatencyComposesThroughLevels)
+{
+    CacheParams l2_params{"l2", 1024, 2, 64, 6};
+    Cache l2(l2_params, nullptr, 50);
+    CacheParams l1_params{"l1", 256, 2, 64, 0};
+    Cache l1(l1_params, &l2, 50);
+
+    // Cold: L1 miss + L2 miss -> 6 + 50.
+    EXPECT_EQ(l1.access(0x4000, false), 56u);
+    // L1 hit.
+    EXPECT_EQ(l1.access(0x4000, false), 0u);
+    // Evict from L1 but still in L2: L1 miss + L2 hit -> 6.
+    l1.access(0x4100, false);
+    l1.access(0x4200, false);
+    EXPECT_EQ(l1.access(0x4000, false), 6u);
+}
+
+TEST(Cache, StatsDump)
+{
+    Cache cache(smallCache(), nullptr, 50);
+    cache.access(0x0, false);
+    StatDump dump;
+    cache.dumpStats(dump);
+    EXPECT_DOUBLE_EQ(dump.get("test.accesses"), 1.0);
+    EXPECT_DOUBLE_EQ(dump.get("test.misses"), 1.0);
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache cache(smallCache(), nullptr, 50);
+    cache.access(0x0, false);
+    cache.resetStats();
+    EXPECT_EQ(cache.accesses(), 0u);
+    EXPECT_EQ(cache.access(0x0, false), 0u); // still resident
+}
+
+TEST(Hierarchy, PaperGeometry)
+{
+    Hierarchy h;
+    EXPECT_EQ(h.icache().lineBytes(), 64u);
+    // 4 KB, 4-way, 64 B lines -> 16 sets.
+    EXPECT_EQ(h.icache().numSets(), 16u);
+    // 64 KB, 4-way -> 256 sets.
+    EXPECT_EQ(h.dcache().numSets(), 256u);
+}
+
+TEST(Hierarchy, SharedL2BetweenIAndD)
+{
+    Hierarchy h;
+    // Fill a line via the icache path, then the dcache finds it in L2.
+    EXPECT_EQ(h.icache().access(0x8000, false), 56u);
+    EXPECT_EQ(h.dcache().access(0x8000, false), 6u);
+}
+
+TEST(Hierarchy, StatsCoverAllLevels)
+{
+    Hierarchy h;
+    h.icache().access(0x0, false);
+    h.dcache().access(0x40, true);
+    StatDump dump;
+    h.dumpStats(dump);
+    EXPECT_TRUE(dump.has("l1i.misses"));
+    EXPECT_TRUE(dump.has("l1d.misses"));
+    EXPECT_TRUE(dump.has("l2.misses"));
+}
+
+} // namespace
+} // namespace tcsim::memory
+
+namespace tcsim::memory
+{
+namespace
+{
+
+/**
+ * Model-based property test: the cache's hit/miss behaviour must
+ * match a straightforward reference model of set-associative LRU.
+ */
+TEST(CacheProperty, MatchesReferenceLruModel)
+{
+    const CacheParams params{"mbt", 1024, 4, 64, 0}; // 4 sets x 4 ways
+    Cache cache(params, nullptr, 50);
+
+    struct RefSet
+    {
+        std::vector<Addr> lines; // MRU at back
+    };
+    std::vector<RefSet> ref(cache.numSets());
+
+    std::uint64_t state = 12345;
+    auto next = [&state] {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return state;
+    };
+
+    for (int i = 0; i < 20000; ++i) {
+        // Small address space so sets conflict heavily.
+        const Addr addr = (next() >> 20) % 16384;
+        const Addr line = addr / 64;
+        RefSet &set = ref[line % cache.numSets()];
+
+        bool ref_hit = false;
+        for (auto it = set.lines.begin(); it != set.lines.end(); ++it) {
+            if (*it == line) {
+                set.lines.erase(it);
+                set.lines.push_back(line);
+                ref_hit = true;
+                break;
+            }
+        }
+        if (!ref_hit) {
+            if (set.lines.size() == 4)
+                set.lines.erase(set.lines.begin());
+            set.lines.push_back(line);
+        }
+
+        const bool cache_hit = cache.access(addr, false) == 0;
+        ASSERT_EQ(cache_hit, ref_hit) << "iteration " << i;
+    }
+    EXPECT_GT(cache.misses(), 100u);
+    EXPECT_GT(cache.accesses() - cache.misses(), 100u);
+}
+
+} // namespace
+} // namespace tcsim::memory
+
+namespace tcsim::memory
+{
+namespace
+{
+
+TEST(CacheDeath, BadGeometryAborts)
+{
+    CacheParams params{"bad", 100, 3, 48, 0};
+    EXPECT_DEATH(Cache(params, nullptr, 50), "");
+}
+
+} // namespace
+} // namespace tcsim::memory

@@ -1,0 +1,231 @@
+/**
+ * @file
+ * tcsim_run: the command-line driver for one-off simulations.
+ *
+ *   tcsim_run [options]
+ *     --bench <name>        benchmark profile (default compress); or
+ *                           'list' to enumerate
+ *     --config <name>       icache | baseline | promotion | packing |
+ *                           promo-pack (default baseline)
+ *     --threshold <n>       promotion threshold (default 64)
+ *     --packing <policy>    atomic | unregulated | cost | n2 | n4
+ *     --insts <n>           instruction budget (default 1000000)
+ *     --disambiguation <d>  conservative | speculative | perfect
+ *     --path-assoc          enable trace-cache path associativity
+ *     --no-partial-match    disable partial matching
+ *     --no-inactive-issue   disable inactive issue
+ *     --static-promotion    profile-driven static promotion
+ *     --histogram           print the fetch-width histogram
+ *     --stats               print the full statistics dump
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#include "sim/processor.h"
+#include "workload/characterize.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace
+{
+
+using namespace tcsim;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--bench <name>|list] [--config <name>] "
+                 "[--threshold <n>] [--packing <policy>] [--insts <n>] "
+                 "[--disambiguation <d>] [--path-assoc] "
+                 "[--no-partial-match] [--no-inactive-issue] "
+                 "[--static-promotion] [--histogram] [--stats]\n",
+                 argv0);
+    std::exit(2);
+}
+
+trace::PackingPolicy
+parsePacking(const std::string &name, std::uint32_t &granule)
+{
+    if (name == "atomic")
+        return trace::PackingPolicy::Atomic;
+    if (name == "unregulated")
+        return trace::PackingPolicy::Unregulated;
+    if (name == "cost")
+        return trace::PackingPolicy::CostRegulated;
+    if (name == "n2") {
+        granule = 2;
+        return trace::PackingPolicy::NRegulated;
+    }
+    if (name == "n4") {
+        granule = 4;
+        return trace::PackingPolicy::NRegulated;
+    }
+    fatal("unknown packing policy '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string bench = "compress";
+    std::string config_name = "baseline";
+    std::string packing = "";
+    std::string disambiguation = "conservative";
+    std::uint32_t threshold = 64;
+    std::uint64_t insts = 1'000'000;
+    std::uint64_t warmup = 0;
+    bool path_assoc = false, no_partial = false, no_inactive = false;
+    bool static_promotion = false, histogram = false, full_stats = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> std::string {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--bench")
+            bench = value();
+        else if (arg == "--config")
+            config_name = value();
+        else if (arg == "--threshold")
+            threshold = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (arg == "--packing")
+            packing = value();
+        else if (arg == "--insts")
+            insts = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--warmup")
+            warmup = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--disambiguation")
+            disambiguation = value();
+        else if (arg == "--path-assoc")
+            path_assoc = true;
+        else if (arg == "--no-partial-match")
+            no_partial = true;
+        else if (arg == "--no-inactive-issue")
+            no_inactive = true;
+        else if (arg == "--static-promotion")
+            static_promotion = true;
+        else if (arg == "--histogram")
+            histogram = true;
+        else if (arg == "--stats")
+            full_stats = true;
+        else
+            usage(argv[0]);
+    }
+
+    if (bench == "list") {
+        for (const auto &profile : workload::benchmarkSuite())
+            std::printf("%s\n", profile.name.c_str());
+        return 0;
+    }
+
+    sim::ProcessorConfig config;
+    if (config_name == "icache")
+        config = sim::icacheConfig();
+    else if (config_name == "baseline")
+        config = sim::baselineConfig();
+    else if (config_name == "promotion")
+        config = sim::promotionConfig(threshold);
+    else if (config_name == "packing")
+        config = sim::packingConfig();
+    else if (config_name == "promo-pack")
+        config = sim::promotionPackingConfig(threshold);
+    else
+        fatal("unknown config '%s'", config_name.c_str());
+
+    if (!packing.empty()) {
+        std::uint32_t granule = 2;
+        config.fillUnit.packing = parsePacking(packing, granule);
+        config.fillUnit.packingGranule = granule;
+    }
+    if (disambiguation == "speculative")
+        config.disambiguation = sim::Disambiguation::Speculative;
+    else if (disambiguation == "perfect")
+        config.disambiguation = sim::Disambiguation::Perfect;
+    else if (disambiguation != "conservative")
+        fatal("unknown disambiguation '%s'", disambiguation.c_str());
+    config.traceCache.pathAssociativity = path_assoc;
+    config.partialMatching = !no_partial;
+    config.inactiveIssue = !no_inactive;
+
+    workload::Program program =
+        workload::generateProgram(workload::findProfile(bench));
+    if (static_promotion) {
+        config.fillUnit.staticPromotion = true;
+        config.fillUnit.staticPromotions =
+            workload::profileStronglyBiased(program, insts / 2);
+    }
+
+    sim::Processor processor(config, program);
+    if (warmup > 0) {
+        processor.run(warmup);
+        processor.resetStats();
+    }
+    const sim::SimResult r = processor.run(warmup + insts);
+
+    std::printf("%-14s %-26s\n", r.benchmark.c_str(), r.config.c_str());
+    std::printf("  instructions     %llu\n",
+                static_cast<unsigned long long>(r.instructions));
+    std::printf("  cycles           %llu\n",
+                static_cast<unsigned long long>(r.cycles));
+    std::printf("  IPC              %.3f\n", r.ipc);
+    std::printf("  eff fetch rate   %.2f\n", r.effectiveFetchRate);
+    std::printf("  mispredict rate  %.2f%%  (faults %llu)\n",
+                100 * r.condMispredictRate,
+                static_cast<unsigned long long>(r.promotedFaults));
+    std::printf("  resolution time  %.2f cycles\n", r.meanResolutionTime);
+    std::printf("  preds 0-1/2/3    %.0f%% / %.0f%% / %.0f%%\n",
+                100 * r.fetchesNeeding01, 100 * r.fetchesNeeding2,
+                100 * r.fetchesNeeding3);
+    if (r.tcLookups > 0) {
+        std::printf("  trace cache hit  %.1f%%\n",
+                    100.0 * r.tcHits / r.tcLookups);
+    }
+    std::printf("  cycles by class ");
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(sim::CycleCategory::NumCategories);
+         ++c) {
+        std::printf(" %s=%.1f%%",
+                    sim::cycleCategoryName(
+                        static_cast<sim::CycleCategory>(c)),
+                    100.0 * r.cycleCat[c] / r.cycles);
+    }
+    std::printf("\n");
+
+    if (histogram) {
+        std::printf("\nfetch-width histogram (correct-path fetches):\n");
+        std::uint64_t total = 0;
+        std::uint64_t by_width[sim::Accounting::kMaxFetchWidth + 1] = {};
+        for (unsigned reason = 0;
+             reason < static_cast<unsigned>(sim::FetchReason::NumReasons);
+             ++reason) {
+            for (unsigned w = 0; w <= sim::Accounting::kMaxFetchWidth;
+                 ++w) {
+                by_width[w] += r.fetchHist[reason][w];
+                total += r.fetchHist[reason][w];
+            }
+        }
+        for (unsigned w = 1; w <= sim::Accounting::kMaxFetchWidth; ++w) {
+            const double frac =
+                total ? static_cast<double>(by_width[w]) / total : 0.0;
+            std::printf("  %4u %-50.*s %.3f\n", w,
+                        static_cast<int>(frac * 200),
+                        "##################################################",
+                        frac);
+        }
+    }
+    if (full_stats) {
+        std::ostringstream os;
+        r.stats.print(os);
+        std::printf("\n%s", os.str().c_str());
+    }
+    return 0;
+}
