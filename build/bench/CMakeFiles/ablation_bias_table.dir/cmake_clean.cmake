@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bias_table.dir/ablation_bias_table.cc.o"
+  "CMakeFiles/ablation_bias_table.dir/ablation_bias_table.cc.o.d"
+  "ablation_bias_table"
+  "ablation_bias_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bias_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

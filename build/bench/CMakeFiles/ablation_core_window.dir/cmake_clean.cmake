@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_core_window.dir/ablation_core_window.cc.o"
+  "CMakeFiles/ablation_core_window.dir/ablation_core_window.cc.o.d"
+  "ablation_core_window"
+  "ablation_core_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_core_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_issue_policies.dir/ablation_issue_policies.cc.o"
+  "CMakeFiles/ablation_issue_policies.dir/ablation_issue_policies.cc.o.d"
+  "ablation_issue_policies"
+  "ablation_issue_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_issue_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_static_promotion.dir/ablation_static_promotion.cc.o"
+  "CMakeFiles/ablation_static_promotion.dir/ablation_static_promotion.cc.o.d"
+  "ablation_static_promotion"
+  "ablation_static_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_static_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tc_size.dir/ablation_tc_size.cc.o"
+  "CMakeFiles/ablation_tc_size.dir/ablation_tc_size.cc.o.d"
+  "ablation_tc_size"
+  "ablation_tc_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tc_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_fetch_rate_all.dir/fig10_fetch_rate_all.cc.o"
+  "CMakeFiles/fig10_fetch_rate_all.dir/fig10_fetch_rate_all.cc.o.d"
+  "fig10_fetch_rate_all"
+  "fig10_fetch_rate_all.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_fetch_rate_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_cycle_accounting.dir/fig12_cycle_accounting.cc.o"
+  "CMakeFiles/fig12_cycle_accounting.dir/fig12_cycle_accounting.cc.o.d"
+  "fig12_cycle_accounting"
+  "fig12_cycle_accounting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cycle_accounting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

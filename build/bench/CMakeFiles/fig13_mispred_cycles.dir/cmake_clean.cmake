@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_mispred_cycles.dir/fig13_mispred_cycles.cc.o"
+  "CMakeFiles/fig13_mispred_cycles.dir/fig13_mispred_cycles.cc.o.d"
+  "fig13_mispred_cycles"
+  "fig13_mispred_cycles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_mispred_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_mispred_count.dir/fig14_mispred_count.cc.o"
+  "CMakeFiles/fig14_mispred_count.dir/fig14_mispred_count.cc.o.d"
+  "fig14_mispred_count"
+  "fig14_mispred_count.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_mispred_count.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_resolution_time.dir/fig15_resolution_time.cc.o"
+  "CMakeFiles/fig15_resolution_time.dir/fig15_resolution_time.cc.o.d"
+  "fig15_resolution_time"
+  "fig15_resolution_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_resolution_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_ipc_perfect.dir/fig16_ipc_perfect.cc.o"
+  "CMakeFiles/fig16_ipc_perfect.dir/fig16_ipc_perfect.cc.o.d"
+  "fig16_ipc_perfect"
+  "fig16_ipc_perfect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_ipc_perfect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

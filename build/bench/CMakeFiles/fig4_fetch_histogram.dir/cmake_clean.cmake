@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_fetch_histogram.dir/fig4_fetch_histogram.cc.o"
+  "CMakeFiles/fig4_fetch_histogram.dir/fig4_fetch_histogram.cc.o.d"
+  "fig4_fetch_histogram"
+  "fig4_fetch_histogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_fetch_histogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fetch_histogram_promotion.dir/fig6_fetch_histogram_promotion.cc.o"
+  "CMakeFiles/fig6_fetch_histogram_promotion.dir/fig6_fetch_histogram_promotion.cc.o.d"
+  "fig6_fetch_histogram_promotion"
+  "fig6_fetch_histogram_promotion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fetch_histogram_promotion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_fetch_histogram_promotion.
+# This may be replaced when dependencies are built.

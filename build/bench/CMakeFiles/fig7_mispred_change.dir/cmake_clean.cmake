@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_mispred_change.dir/fig7_mispred_change.cc.o"
+  "CMakeFiles/fig7_mispred_change.dir/fig7_mispred_change.cc.o.d"
+  "fig7_mispred_change"
+  "fig7_mispred_change.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_mispred_change.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

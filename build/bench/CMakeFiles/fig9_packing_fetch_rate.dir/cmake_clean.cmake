@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_packing_fetch_rate.dir/fig9_packing_fetch_rate.cc.o"
+  "CMakeFiles/fig9_packing_fetch_rate.dir/fig9_packing_fetch_rate.cc.o.d"
+  "fig9_packing_fetch_rate"
+  "fig9_packing_fetch_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_packing_fetch_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_promotion_threshold.dir/table2_promotion_threshold.cc.o"
+  "CMakeFiles/table2_promotion_threshold.dir/table2_promotion_threshold.cc.o.d"
+  "table2_promotion_threshold"
+  "table2_promotion_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_promotion_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_predictions_per_fetch.dir/table3_predictions_per_fetch.cc.o"
+  "CMakeFiles/table3_predictions_per_fetch.dir/table3_predictions_per_fetch.cc.o.d"
+  "table3_predictions_per_fetch"
+  "table3_predictions_per_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_predictions_per_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

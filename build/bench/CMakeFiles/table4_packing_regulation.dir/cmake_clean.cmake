@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_packing_regulation.dir/table4_packing_regulation.cc.o"
+  "CMakeFiles/table4_packing_regulation.dir/table4_packing_regulation.cc.o.d"
+  "table4_packing_regulation"
+  "table4_packing_regulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_packing_regulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

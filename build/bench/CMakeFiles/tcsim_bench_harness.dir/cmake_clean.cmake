@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/tcsim_bench_harness.dir/harness.cc.o.d"
+  "libtcsim_bench_harness.a"
+  "libtcsim_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

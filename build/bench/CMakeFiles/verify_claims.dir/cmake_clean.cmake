@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_claims.dir/verify_claims.cc.o"
+  "CMakeFiles/verify_claims.dir/verify_claims.cc.o.d"
+  "verify_claims"
+  "verify_claims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_claims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

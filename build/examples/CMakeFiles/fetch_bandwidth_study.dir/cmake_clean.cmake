@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fetch_bandwidth_study.dir/fetch_bandwidth_study.cpp.o"
+  "CMakeFiles/fetch_bandwidth_study.dir/fetch_bandwidth_study.cpp.o.d"
+  "fetch_bandwidth_study"
+  "fetch_bandwidth_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fetch_bandwidth_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tcsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/tcsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcsim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fetch/CMakeFiles/tcsim_fetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tcsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tcsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tcsim_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

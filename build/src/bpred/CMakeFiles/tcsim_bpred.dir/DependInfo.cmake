@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpred/bias_table.cc" "src/bpred/CMakeFiles/tcsim_bpred.dir/bias_table.cc.o" "gcc" "src/bpred/CMakeFiles/tcsim_bpred.dir/bias_table.cc.o.d"
+  "/root/repo/src/bpred/hybrid.cc" "src/bpred/CMakeFiles/tcsim_bpred.dir/hybrid.cc.o" "gcc" "src/bpred/CMakeFiles/tcsim_bpred.dir/hybrid.cc.o.d"
+  "/root/repo/src/bpred/multi.cc" "src/bpred/CMakeFiles/tcsim_bpred.dir/multi.cc.o" "gcc" "src/bpred/CMakeFiles/tcsim_bpred.dir/multi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/tcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_bpred.dir/bias_table.cc.o"
+  "CMakeFiles/tcsim_bpred.dir/bias_table.cc.o.d"
+  "CMakeFiles/tcsim_bpred.dir/hybrid.cc.o"
+  "CMakeFiles/tcsim_bpred.dir/hybrid.cc.o.d"
+  "CMakeFiles/tcsim_bpred.dir/multi.cc.o"
+  "CMakeFiles/tcsim_bpred.dir/multi.cc.o.d"
+  "libtcsim_bpred.a"
+  "libtcsim_bpred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_bpred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

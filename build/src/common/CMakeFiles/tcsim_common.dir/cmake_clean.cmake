@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_common.dir/log.cc.o"
+  "CMakeFiles/tcsim_common.dir/log.cc.o.d"
+  "CMakeFiles/tcsim_common.dir/stats.cc.o"
+  "CMakeFiles/tcsim_common.dir/stats.cc.o.d"
+  "libtcsim_common.a"
+  "libtcsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

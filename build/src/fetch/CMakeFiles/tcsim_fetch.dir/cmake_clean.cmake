@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_fetch.dir/fetch_engine.cc.o"
+  "CMakeFiles/tcsim_fetch.dir/fetch_engine.cc.o.d"
+  "libtcsim_fetch.a"
+  "libtcsim_fetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_fetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_isa.dir/instruction.cc.o"
+  "CMakeFiles/tcsim_isa.dir/instruction.cc.o.d"
+  "libtcsim_isa.a"
+  "libtcsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_memory.dir/cache.cc.o"
+  "CMakeFiles/tcsim_memory.dir/cache.cc.o.d"
+  "libtcsim_memory.a"
+  "libtcsim_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_sim.dir/accounting.cc.o"
+  "CMakeFiles/tcsim_sim.dir/accounting.cc.o.d"
+  "CMakeFiles/tcsim_sim.dir/config.cc.o"
+  "CMakeFiles/tcsim_sim.dir/config.cc.o.d"
+  "CMakeFiles/tcsim_sim.dir/processor.cc.o"
+  "CMakeFiles/tcsim_sim.dir/processor.cc.o.d"
+  "libtcsim_sim.a"
+  "libtcsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/fill_unit.cc" "src/trace/CMakeFiles/tcsim_trace.dir/fill_unit.cc.o" "gcc" "src/trace/CMakeFiles/tcsim_trace.dir/fill_unit.cc.o.d"
+  "/root/repo/src/trace/segment.cc" "src/trace/CMakeFiles/tcsim_trace.dir/segment.cc.o" "gcc" "src/trace/CMakeFiles/tcsim_trace.dir/segment.cc.o.d"
+  "/root/repo/src/trace/trace_cache.cc" "src/trace/CMakeFiles/tcsim_trace.dir/trace_cache.cc.o" "gcc" "src/trace/CMakeFiles/tcsim_trace.dir/trace_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bpred/CMakeFiles/tcsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

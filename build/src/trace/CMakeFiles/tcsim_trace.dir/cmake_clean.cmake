@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_trace.dir/fill_unit.cc.o"
+  "CMakeFiles/tcsim_trace.dir/fill_unit.cc.o.d"
+  "CMakeFiles/tcsim_trace.dir/segment.cc.o"
+  "CMakeFiles/tcsim_trace.dir/segment.cc.o.d"
+  "CMakeFiles/tcsim_trace.dir/trace_cache.cc.o"
+  "CMakeFiles/tcsim_trace.dir/trace_cache.cc.o.d"
+  "libtcsim_trace.a"
+  "libtcsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/builder.cc" "src/workload/CMakeFiles/tcsim_workload.dir/builder.cc.o" "gcc" "src/workload/CMakeFiles/tcsim_workload.dir/builder.cc.o.d"
+  "/root/repo/src/workload/characterize.cc" "src/workload/CMakeFiles/tcsim_workload.dir/characterize.cc.o" "gcc" "src/workload/CMakeFiles/tcsim_workload.dir/characterize.cc.o.d"
+  "/root/repo/src/workload/executor.cc" "src/workload/CMakeFiles/tcsim_workload.dir/executor.cc.o" "gcc" "src/workload/CMakeFiles/tcsim_workload.dir/executor.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/workload/CMakeFiles/tcsim_workload.dir/generator.cc.o" "gcc" "src/workload/CMakeFiles/tcsim_workload.dir/generator.cc.o.d"
+  "/root/repo/src/workload/program.cc" "src/workload/CMakeFiles/tcsim_workload.dir/program.cc.o" "gcc" "src/workload/CMakeFiles/tcsim_workload.dir/program.cc.o.d"
+  "/root/repo/src/workload/serialize.cc" "src/workload/CMakeFiles/tcsim_workload.dir/serialize.cc.o" "gcc" "src/workload/CMakeFiles/tcsim_workload.dir/serialize.cc.o.d"
+  "/root/repo/src/workload/suite.cc" "src/workload/CMakeFiles/tcsim_workload.dir/suite.cc.o" "gcc" "src/workload/CMakeFiles/tcsim_workload.dir/suite.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/tcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

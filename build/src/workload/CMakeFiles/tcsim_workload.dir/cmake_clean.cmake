@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_workload.dir/builder.cc.o"
+  "CMakeFiles/tcsim_workload.dir/builder.cc.o.d"
+  "CMakeFiles/tcsim_workload.dir/characterize.cc.o"
+  "CMakeFiles/tcsim_workload.dir/characterize.cc.o.d"
+  "CMakeFiles/tcsim_workload.dir/executor.cc.o"
+  "CMakeFiles/tcsim_workload.dir/executor.cc.o.d"
+  "CMakeFiles/tcsim_workload.dir/generator.cc.o"
+  "CMakeFiles/tcsim_workload.dir/generator.cc.o.d"
+  "CMakeFiles/tcsim_workload.dir/program.cc.o"
+  "CMakeFiles/tcsim_workload.dir/program.cc.o.d"
+  "CMakeFiles/tcsim_workload.dir/serialize.cc.o"
+  "CMakeFiles/tcsim_workload.dir/serialize.cc.o.d"
+  "CMakeFiles/tcsim_workload.dir/suite.cc.o"
+  "CMakeFiles/tcsim_workload.dir/suite.cc.o.d"
+  "libtcsim_workload.a"
+  "libtcsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtcsim_workload.a"
+)

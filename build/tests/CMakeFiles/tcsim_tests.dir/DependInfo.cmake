@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bpred.cc" "tests/CMakeFiles/tcsim_tests.dir/test_bpred.cc.o" "gcc" "tests/CMakeFiles/tcsim_tests.dir/test_bpred.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/tcsim_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/tcsim_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/tcsim_tests.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/tcsim_tests.dir/test_core.cc.o.d"
+  "/root/repo/tests/test_fetch.cc" "tests/CMakeFiles/tcsim_tests.dir/test_fetch.cc.o" "gcc" "tests/CMakeFiles/tcsim_tests.dir/test_fetch.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/tcsim_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/tcsim_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_memory.cc" "tests/CMakeFiles/tcsim_tests.dir/test_memory.cc.o" "gcc" "tests/CMakeFiles/tcsim_tests.dir/test_memory.cc.o.d"
+  "/root/repo/tests/test_node_tables.cc" "tests/CMakeFiles/tcsim_tests.dir/test_node_tables.cc.o" "gcc" "tests/CMakeFiles/tcsim_tests.dir/test_node_tables.cc.o.d"
+  "/root/repo/tests/test_sim_integration.cc" "tests/CMakeFiles/tcsim_tests.dir/test_sim_integration.cc.o" "gcc" "tests/CMakeFiles/tcsim_tests.dir/test_sim_integration.cc.o.d"
+  "/root/repo/tests/test_trace.cc" "tests/CMakeFiles/tcsim_tests.dir/test_trace.cc.o" "gcc" "tests/CMakeFiles/tcsim_tests.dir/test_trace.cc.o.d"
+  "/root/repo/tests/test_workload.cc" "tests/CMakeFiles/tcsim_tests.dir/test_workload.cc.o" "gcc" "tests/CMakeFiles/tcsim_tests.dir/test_workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/tcsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/fetch/CMakeFiles/tcsim_fetch.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/tcsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpred/CMakeFiles/tcsim_bpred.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/tcsim_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tcsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/tcsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/tcsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

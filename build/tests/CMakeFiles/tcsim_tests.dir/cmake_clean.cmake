@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_tests.dir/test_bpred.cc.o"
+  "CMakeFiles/tcsim_tests.dir/test_bpred.cc.o.d"
+  "CMakeFiles/tcsim_tests.dir/test_common.cc.o"
+  "CMakeFiles/tcsim_tests.dir/test_common.cc.o.d"
+  "CMakeFiles/tcsim_tests.dir/test_core.cc.o"
+  "CMakeFiles/tcsim_tests.dir/test_core.cc.o.d"
+  "CMakeFiles/tcsim_tests.dir/test_fetch.cc.o"
+  "CMakeFiles/tcsim_tests.dir/test_fetch.cc.o.d"
+  "CMakeFiles/tcsim_tests.dir/test_isa.cc.o"
+  "CMakeFiles/tcsim_tests.dir/test_isa.cc.o.d"
+  "CMakeFiles/tcsim_tests.dir/test_memory.cc.o"
+  "CMakeFiles/tcsim_tests.dir/test_memory.cc.o.d"
+  "CMakeFiles/tcsim_tests.dir/test_node_tables.cc.o"
+  "CMakeFiles/tcsim_tests.dir/test_node_tables.cc.o.d"
+  "CMakeFiles/tcsim_tests.dir/test_sim_integration.cc.o"
+  "CMakeFiles/tcsim_tests.dir/test_sim_integration.cc.o.d"
+  "CMakeFiles/tcsim_tests.dir/test_trace.cc.o"
+  "CMakeFiles/tcsim_tests.dir/test_trace.cc.o.d"
+  "CMakeFiles/tcsim_tests.dir/test_workload.cc.o"
+  "CMakeFiles/tcsim_tests.dir/test_workload.cc.o.d"
+  "tcsim_tests"
+  "tcsim_tests.pdb"
+  "tcsim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

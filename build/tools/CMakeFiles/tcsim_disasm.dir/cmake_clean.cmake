@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_disasm.dir/tcsim_disasm.cc.o"
+  "CMakeFiles/tcsim_disasm.dir/tcsim_disasm.cc.o.d"
+  "tcsim_disasm"
+  "tcsim_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tcsim_run.dir/tcsim_run.cc.o"
+  "CMakeFiles/tcsim_run.dir/tcsim_run.cc.o.d"
+  "tcsim_run"
+  "tcsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tcsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(tools_tcsim_run_baseline "/root/repo/build/tools/tcsim_run" "--bench" "compress" "--insts" "20000")
+set_tests_properties(tools_tcsim_run_baseline PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_tcsim_run_full_options "/root/repo/build/tools/tcsim_run" "--bench" "li" "--config" "promo-pack" "--packing" "cost" "--threshold" "32" "--insts" "20000" "--warmup" "5000" "--disambiguation" "speculative" "--path-assoc" "--histogram")
+set_tests_properties(tools_tcsim_run_full_options PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;12;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_tcsim_run_static_promotion "/root/repo/build/tools/tcsim_run" "--bench" "compress" "--config" "promotion" "--static-promotion" "--insts" "20000")
+set_tests_properties(tools_tcsim_run_static_promotion PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;16;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_tcsim_run_list "/root/repo/build/tools/tcsim_run" "--bench" "list")
+set_tests_properties(tools_tcsim_run_list PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_tcsim_disasm_roundtrip "/root/repo/build/tools/tcsim_disasm" "--bench" "compress" "--limit" "4" "--characterize" "20000" "--save" "/root/repo/build/compress.tcsimprg")
+set_tests_properties(tools_tcsim_disasm_roundtrip PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(tools_tcsim_disasm_load "/root/repo/build/tools/tcsim_disasm" "--load" "/root/repo/build/compress.tcsimprg" "--limit" "4")
+set_tests_properties(tools_tcsim_disasm_load PROPERTIES  DEPENDS "tools_tcsim_disasm_roundtrip" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
