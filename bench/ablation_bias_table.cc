@@ -22,24 +22,29 @@ main()
     const std::vector<std::string> benchmarks = {"gcc", "vortex",
                                                  "compress", "tex"};
 
+    const std::vector<std::uint32_t> sizes = {512, 2048, 8192, 32768};
+    std::vector<sim::ProcessorConfig> configs;
+    for (const std::uint32_t entries : sizes) {
+        sim::ProcessorConfig config = sim::promotionConfig(64);
+        config.fillUnit.biasTable.entries = entries;
+        config.name += "+bias" + std::to_string(entries);
+        configs.push_back(config);
+    }
+    const auto matrix = sweepMatrix(benchmarks, configs);
+
     std::printf("%-12s %18s %16s %16s\n", "entries", "avgEffFetchRate",
                 "avgFaults", "avgPromotedRet");
-    for (const std::uint32_t entries : {512u, 2048u, 8192u, 32768u}) {
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
         double rate = 0, faults = 0, promoted = 0;
-        for (const std::string &bench : benchmarks) {
-            std::fprintf(stderr, "  running %-14s entries=%u...\n",
-                         bench.c_str(), entries);
-            sim::ProcessorConfig config = sim::promotionConfig(64);
-            config.fillUnit.biasTable.entries = entries;
-            const sim::SimResult r = runOne(bench, config);
+        for (const sim::SimResult &r : matrix[s]) {
             rate += r.effectiveFetchRate;
             faults += static_cast<double>(r.promotedFaults);
             promoted += static_cast<double>(r.promotedRetired);
         }
         const double n = static_cast<double>(benchmarks.size());
-        std::printf("%-12u %18.2f %16.0f %16.0f\n", entries, rate / n,
+        std::printf("%-12u %18.2f %16.0f %16.0f\n", sizes[s], rate / n,
                     faults / n, promoted / n);
-        std::fflush(stdout);
     }
+    std::fflush(stdout);
     return 0;
 }

@@ -23,45 +23,60 @@ main()
     const std::vector<std::string> benchmarks = {"gcc", "compress",
                                                  "tex"};
 
-    std::printf("%-10s %-8s %14s %14s %12s\n", "ckpts", "rob",
-                "baselineIPC", "promopackIPC", "fullWindow%");
+    // One fan-out: for each (checkpoints, rob) point, a baseline and a
+    // promotion+packing config (interleaved pairs).
+    struct Point
+    {
+        std::uint32_t checkpoints;
+        std::uint32_t rob;
+    };
+    std::vector<Point> points;
+    std::vector<sim::ProcessorConfig> configs;
     for (const std::uint32_t checkpoints : {16u, 32u, 64u, 128u}) {
         for (const std::uint32_t rob : {256u, 512u, 1024u}) {
-            double base_ipc = 0, both_ipc = 0, full_window = 0;
-            for (const std::string &bench : benchmarks) {
-                std::fprintf(stderr,
-                             "  running %-14s ckpt=%u rob=%u...\n",
-                             bench.c_str(), checkpoints, rob);
-                sim::ProcessorConfig base = sim::baselineConfig();
-                base.checkpoints = checkpoints;
-                base.robEntries = rob;
-                const sim::SimResult rb = runOne(bench, base);
-                base_ipc += rb.ipc;
+            points.push_back(Point{checkpoints, rob});
+            const std::string suffix = "+ckpt" +
+                                       std::to_string(checkpoints) +
+                                       "+rob" + std::to_string(rob);
+            sim::ProcessorConfig base = sim::baselineConfig();
+            base.checkpoints = checkpoints;
+            base.robEntries = rob;
+            base.name += suffix;
+            configs.push_back(base);
 
-                sim::ProcessorConfig both =
-                    sim::promotionPackingConfig(64);
-                both.checkpoints = checkpoints;
-                both.robEntries = rob;
-                const sim::SimResult rp = runOne(bench, both);
-                both_ipc += rp.ipc;
-                std::uint64_t cycles = 0;
-                for (unsigned c = 0;
-                     c < static_cast<unsigned>(
-                             sim::CycleCategory::NumCategories);
-                     ++c)
-                    cycles += rp.cycleCat[c];
-                full_window +=
-                    100.0 *
-                    rp.cycleCat[static_cast<unsigned>(
-                        sim::CycleCategory::FullWindow)] /
-                    std::max<std::uint64_t>(cycles, 1);
-            }
-            const double n = static_cast<double>(benchmarks.size());
-            std::printf("%-10u %-8u %14.3f %14.3f %11.1f%%\n",
-                        checkpoints, rob, base_ipc / n, both_ipc / n,
-                        full_window / n);
-            std::fflush(stdout);
+            sim::ProcessorConfig both = sim::promotionPackingConfig(64);
+            both.checkpoints = checkpoints;
+            both.robEntries = rob;
+            both.name += suffix;
+            configs.push_back(both);
         }
     }
+    const auto matrix = sweepMatrix(benchmarks, configs);
+
+    std::printf("%-10s %-8s %14s %14s %12s\n", "ckpts", "rob",
+                "baselineIPC", "promopackIPC", "fullWindow%");
+    for (std::size_t p = 0; p < points.size(); ++p) {
+        double base_ipc = 0, both_ipc = 0, full_window = 0;
+        for (std::size_t b = 0; b < benchmarks.size(); ++b) {
+            base_ipc += matrix[2 * p][b].ipc;
+            const sim::SimResult &rp = matrix[2 * p + 1][b];
+            both_ipc += rp.ipc;
+            std::uint64_t cycles = 0;
+            for (unsigned c = 0;
+                 c < static_cast<unsigned>(
+                         sim::CycleCategory::NumCategories);
+                 ++c)
+                cycles += rp.cycleCat[c];
+            full_window += 100.0 *
+                           rp.cycleCat[static_cast<unsigned>(
+                               sim::CycleCategory::FullWindow)] /
+                           std::max<std::uint64_t>(cycles, 1);
+        }
+        const double n = static_cast<double>(benchmarks.size());
+        std::printf("%-10u %-8u %14.3f %14.3f %11.1f%%\n",
+                    points[p].checkpoints, points[p].rob, base_ipc / n,
+                    both_ipc / n, full_window / n);
+    }
+    std::fflush(stdout);
     return 0;
 }

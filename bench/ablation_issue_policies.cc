@@ -21,27 +21,41 @@ main()
     const std::vector<std::string> benchmarks = {"gcc", "compress",
                                                  "go", "tex"};
 
-    const auto row = [&](const char *label, bool partial, bool inactive) {
+    struct Policy
+    {
+        const char *label;
+        bool partial;
+        bool inactive;
+    };
+    const std::vector<Policy> policies = {
+        {"partial match + inactive issue", true, true},
+        {"partial match only", true, false},
+        {"neither", false, false},
+    };
+    std::vector<sim::ProcessorConfig> configs;
+    for (const Policy &policy : policies) {
         sim::ProcessorConfig config = sim::baselineConfig();
-        config.partialMatching = partial;
-        config.inactiveIssue = inactive;
+        config.partialMatching = policy.partial;
+        config.inactiveIssue = policy.inactive;
+        config.name += std::string("+pm") +
+                       (policy.partial ? "1" : "0") + "ii" +
+                       (policy.inactive ? "1" : "0");
+        configs.push_back(config);
+    }
+    const auto matrix = sweepMatrix(benchmarks, configs);
+
+    std::printf("%-34s %14s %10s\n", "configuration", "avgEffFetch",
+                "avgIPC");
+    for (std::size_t p = 0; p < policies.size(); ++p) {
         double rate = 0, ipc = 0;
-        for (const std::string &bench : benchmarks) {
-            std::fprintf(stderr, "  running %-14s %s...\n", bench.c_str(),
-                         label);
-            const sim::SimResult r = runOne(bench, config);
+        for (const sim::SimResult &r : matrix[p]) {
             rate += r.effectiveFetchRate;
             ipc += r.ipc;
         }
         const double n = static_cast<double>(benchmarks.size());
-        std::printf("%-34s %14.2f %10.3f\n", label, rate / n, ipc / n);
-        std::fflush(stdout);
-    };
-
-    std::printf("%-34s %14s %10s\n", "configuration", "avgEffFetch",
-                "avgIPC");
-    row("partial match + inactive issue", true, true);
-    row("partial match only", true, false);
-    row("neither", false, false);
+        std::printf("%-34s %14.2f %10.3f\n", policies[p].label, rate / n,
+                    ipc / n);
+    }
+    std::fflush(stdout);
     return 0;
 }

@@ -21,33 +21,43 @@ main()
     const std::vector<std::string> benchmarks = {"gcc", "go", "li",
                                                  "gnuchess"};
 
-    const auto row = [&](const char *label, bool path_assoc,
-                         bool packing) {
+    struct Variant
+    {
+        const char *label;
+        bool pathAssoc;
+        bool packing;
+    };
+    const std::vector<Variant> variants = {
+        {"baseline, no path assoc", false, false},
+        {"baseline, path assoc", true, false},
+        {"promo+pack, no path assoc", false, true},
+        {"promo+pack, path assoc", true, true},
+    };
+    std::vector<sim::ProcessorConfig> configs;
+    for (const Variant &v : variants) {
         sim::ProcessorConfig config =
-            packing ? sim::promotionPackingConfig(64)
-                    : sim::baselineConfig();
-        config.traceCache.pathAssociativity = path_assoc;
+            v.packing ? sim::promotionPackingConfig(64)
+                      : sim::baselineConfig();
+        config.traceCache.pathAssociativity = v.pathAssoc;
+        config.name += v.pathAssoc ? "+pathassoc" : "+nopath";
+        configs.push_back(config);
+    }
+    const auto matrix = sweepMatrix(benchmarks, configs);
+
+    std::printf("%-34s %14s %13s\n", "configuration", "avgEffFetch",
+                "avgTcHit");
+    for (std::size_t v = 0; v < variants.size(); ++v) {
         double rate = 0, hit = 0;
-        for (const std::string &bench : benchmarks) {
-            std::fprintf(stderr, "  running %-14s %s...\n", bench.c_str(),
-                         label);
-            const sim::SimResult r = runOne(bench, config);
+        for (const sim::SimResult &r : matrix[v]) {
             rate += r.effectiveFetchRate;
             hit += r.tcLookups
                        ? static_cast<double>(r.tcHits) / r.tcLookups
                        : 0.0;
         }
         const double n = static_cast<double>(benchmarks.size());
-        std::printf("%-34s %14.2f %12.1f%%\n", label, rate / n,
-                    100 * hit / n);
-        std::fflush(stdout);
-    };
-
-    std::printf("%-34s %14s %13s\n", "configuration", "avgEffFetch",
-                "avgTcHit");
-    row("baseline, no path assoc", false, false);
-    row("baseline, path assoc", true, false);
-    row("promo+pack, no path assoc", false, true);
-    row("promo+pack, path assoc", true, true);
+        std::printf("%-34s %14.2f %12.1f%%\n", variants[v].label,
+                    rate / n, 100 * hit / n);
+    }
+    std::fflush(stdout);
     return 0;
 }

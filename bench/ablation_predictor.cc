@@ -23,35 +23,32 @@ main()
     const std::vector<std::string> benchmarks = {"gcc", "compress",
                                                  "m88ksim", "go"};
 
-    const auto row = [&](const char *label, sim::ProcessorConfig config) {
+    sim::ProcessorConfig base_split = sim::baselineConfig();
+    base_split.mbpKind = sim::MbpKind::Split;
+    base_split.name += "+split";
+    sim::ProcessorConfig promo_tree = sim::promotionConfig(64);
+    promo_tree.mbpKind = sim::MbpKind::Tree;
+    promo_tree.name += "+tree";
+
+    const std::vector<const char *> labels = {
+        "baseline + tree", "baseline + split", "promotion + tree",
+        "promotion + split"};
+    const auto matrix =
+        sweepMatrix(benchmarks, {sim::baselineConfig(), base_split,
+                                 promo_tree, sim::promotionConfig(64)});
+
+    std::printf("%-24s %16s %16s\n", "configuration", "avgEffFetch",
+                "avgMispredRate");
+    for (std::size_t v = 0; v < labels.size(); ++v) {
         double rate = 0, mispred = 0;
-        for (const std::string &bench : benchmarks) {
-            std::fprintf(stderr, "  running %-14s %s...\n", bench.c_str(),
-                         label);
-            const sim::SimResult r = runOne(bench, config);
+        for (const sim::SimResult &r : matrix[v]) {
             rate += r.effectiveFetchRate;
             mispred += r.condMispredictRate;
         }
         const double n = static_cast<double>(benchmarks.size());
-        std::printf("%-24s %16.2f %15.2f%%\n", label, rate / n,
+        std::printf("%-24s %16.2f %15.2f%%\n", labels[v], rate / n,
                     100 * mispred / n);
-        std::fflush(stdout);
-    };
-
-    std::printf("%-24s %16s %16s\n", "configuration", "avgEffFetch",
-                "avgMispredRate");
-
-    sim::ProcessorConfig base_tree = sim::baselineConfig();
-    row("baseline + tree", base_tree);
-
-    sim::ProcessorConfig base_split = sim::baselineConfig();
-    base_split.mbpKind = sim::MbpKind::Split;
-    row("baseline + split", base_split);
-
-    sim::ProcessorConfig promo_tree = sim::promotionConfig(64);
-    promo_tree.mbpKind = sim::MbpKind::Tree;
-    row("promotion + tree", promo_tree);
-
-    row("promotion + split", sim::promotionConfig(64));
+    }
+    std::fflush(stdout);
     return 0;
 }

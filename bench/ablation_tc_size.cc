@@ -40,27 +40,34 @@ main()
              64, trace::PackingPolicy::CostRegulated)},
     };
 
+    const std::vector<std::uint32_t> sizes = {256, 512, 1024, 2048};
+    std::vector<sim::ProcessorConfig> configs;
+    for (const std::uint32_t segments : sizes) {
+        for (const Variant &variant : variants) {
+            sim::ProcessorConfig config = variant.config;
+            config.traceCache.numSegments = segments;
+            config.name += "+segs" + std::to_string(segments);
+            configs.push_back(config);
+        }
+    }
+    const auto matrix = sweepMatrix(benchmarks, configs);
+
     std::printf("%-10s", "segments");
     for (const Variant &v : variants)
         std::printf("%20s", v.label);
     std::printf("\n");
 
-    for (const std::uint32_t segments : {256u, 512u, 1024u, 2048u}) {
-        std::printf("%-10u", segments);
-        for (const Variant &variant : variants) {
-            sim::ProcessorConfig config = variant.config;
-            config.traceCache.numSegments = segments;
+    for (std::size_t s = 0; s < sizes.size(); ++s) {
+        std::printf("%-10u", sizes[s]);
+        for (std::size_t v = 0; v < variants.size(); ++v) {
             double rate = 0;
-            for (const std::string &bench : benchmarks) {
-                std::fprintf(stderr,
-                             "  running %-14s %s segs=%u...\n",
-                             bench.c_str(), variant.label, segments);
-                rate += runOne(bench, config).effectiveFetchRate;
-            }
+            for (const sim::SimResult &r :
+                 matrix[s * variants.size() + v])
+                rate += r.effectiveFetchRate;
             std::printf("%20.2f", rate / benchmarks.size());
-            std::fflush(stdout);
         }
         std::printf("\n");
+        std::fflush(stdout);
     }
     std::printf("\n(The paper predicts the unregulated column loses its "
                 "edge at small sizes.)\n");

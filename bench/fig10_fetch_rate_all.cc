@@ -19,16 +19,14 @@ main()
         return r.effectiveFetchRate;
     };
 
-    const std::vector<double> icache =
-        sweepSuite(sim::icacheConfig(), metric);
-    const std::vector<double> base =
-        sweepSuite(sim::baselineConfig(), metric);
-    const std::vector<double> pack =
-        sweepSuite(sim::packingConfig(), metric);
-    const std::vector<double> promo =
-        sweepSuite(sim::promotionConfig(64), metric);
-    const std::vector<double> both =
-        sweepSuite(sim::promotionPackingConfig(64), metric);
+    const auto results = sweepSuiteConfigs(
+        {sim::icacheConfig(), sim::baselineConfig(), sim::packingConfig(),
+         sim::promotionConfig(64), sim::promotionPackingConfig(64)});
+    const std::vector<double> icache = metricsOf(results[0], metric);
+    const std::vector<double> base = metricsOf(results[1], metric);
+    const std::vector<double> pack = metricsOf(results[2], metric);
+    const std::vector<double> promo = metricsOf(results[3], metric);
+    const std::vector<double> both = metricsOf(results[4], metric);
 
     printBenchmarkHeader("config");
     printBenchmarkRow("icache", icache);

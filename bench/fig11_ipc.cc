@@ -18,14 +18,13 @@ main()
 
     const auto metric = [](const sim::SimResult &r) { return r.ipc; };
 
-    const std::vector<double> icache =
-        sweepSuite(sim::icacheConfig(), metric);
-    const std::vector<double> base =
-        sweepSuite(sim::baselineConfig(), metric);
-    const std::vector<double> both = sweepSuite(
-        sim::promotionPackingConfig(64,
-                                    trace::PackingPolicy::CostRegulated),
-        metric);
+    const auto results = sweepSuiteConfigs(
+        {sim::icacheConfig(), sim::baselineConfig(),
+         sim::promotionPackingConfig(
+             64, trace::PackingPolicy::CostRegulated)});
+    const std::vector<double> icache = metricsOf(results[0], metric);
+    const std::vector<double> base = metricsOf(results[1], metric);
+    const std::vector<double> both = metricsOf(results[2], metric);
 
     printBenchmarkHeader("config");
     printBenchmarkRow("icache", icache);

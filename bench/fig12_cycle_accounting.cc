@@ -31,15 +31,15 @@ main()
     }
     std::printf("\n");
 
-    for (const std::string &bench : allBenchmarks()) {
-        std::fprintf(stderr, "  running %-14s...\n", bench.c_str());
-        const sim::SimResult r = runOne(bench, config);
+    const std::vector<sim::SimResult> results =
+        sweepSuiteConfigs({config}).front();
+    for (const sim::SimResult &r : results) {
         std::uint64_t total = 0;
         for (unsigned c = 0;
              c < static_cast<unsigned>(sim::CycleCategory::NumCategories);
              ++c)
             total += r.cycleCat[c];
-        std::printf("%-14s", shortName(bench).c_str());
+        std::printf("%-14s", shortName(r.benchmark).c_str());
         for (unsigned c = 0;
              c < static_cast<unsigned>(sim::CycleCategory::NumCategories);
              ++c) {

@@ -20,12 +20,12 @@ main()
         return static_cast<double>(r.cycleCat[static_cast<unsigned>(
             sim::CycleCategory::BranchMisses)]);
     };
-    const std::vector<double> base =
-        sweepSuite(sim::baselineConfig(), metric);
-    const std::vector<double> both = sweepSuite(
-        sim::promotionPackingConfig(64,
-                                    trace::PackingPolicy::CostRegulated),
-        metric);
+    const auto results = sweepSuiteConfigs(
+        {sim::baselineConfig(),
+         sim::promotionPackingConfig(
+             64, trace::PackingPolicy::CostRegulated)});
+    const std::vector<double> base = metricsOf(results[0], metric);
+    const std::vector<double> both = metricsOf(results[1], metric);
 
     printBenchmarkHeader("");
     std::vector<double> change;

@@ -20,12 +20,12 @@ main()
     const auto metric = [](const sim::SimResult &r) {
         return r.meanResolutionTime;
     };
-    const std::vector<double> base =
-        sweepSuite(sim::baselineConfig(), metric);
-    const std::vector<double> both = sweepSuite(
-        sim::promotionPackingConfig(64,
-                                    trace::PackingPolicy::CostRegulated),
-        metric);
+    const auto results = sweepSuiteConfigs(
+        {sim::baselineConfig(),
+         sim::promotionPackingConfig(
+             64, trace::PackingPolicy::CostRegulated)});
+    const std::vector<double> base = metricsOf(results[0], metric);
+    const std::vector<double> both = metricsOf(results[1], metric);
 
     printBenchmarkHeader("");
     printBenchmarkRow("baseline (cycles)", base, 2);

@@ -25,14 +25,13 @@ main()
         return config;
     };
 
-    const std::vector<double> icache =
-        sweepSuite(perfect(sim::icacheConfig()), metric);
-    const std::vector<double> base =
-        sweepSuite(perfect(sim::baselineConfig()), metric);
-    const std::vector<double> both = sweepSuite(
-        perfect(sim::promotionPackingConfig(
-            64, trace::PackingPolicy::CostRegulated)),
-        metric);
+    const auto results = sweepSuiteConfigs(
+        {perfect(sim::icacheConfig()), perfect(sim::baselineConfig()),
+         perfect(sim::promotionPackingConfig(
+             64, trace::PackingPolicy::CostRegulated))});
+    const std::vector<double> icache = metricsOf(results[0], metric);
+    const std::vector<double> base = metricsOf(results[1], metric);
+    const std::vector<double> both = metricsOf(results[2], metric);
 
     printBenchmarkHeader("config");
     printBenchmarkRow("icache", icache);

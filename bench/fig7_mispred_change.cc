@@ -21,17 +21,20 @@ main()
     const auto metric = [](const sim::SimResult &r) {
         return static_cast<double>(r.condMispredicts);
     };
-    const std::vector<double> base =
-        sweepSuite(sim::baselineConfig(), metric);
+    const std::vector<std::uint32_t> thresholds = {64, 128, 256};
+    std::vector<sim::ProcessorConfig> configs = {sim::baselineConfig()};
+    for (const std::uint32_t threshold : thresholds)
+        configs.push_back(sim::promotionConfig(threshold));
+    const auto results = sweepSuiteConfigs(configs);
+    const std::vector<double> base = metricsOf(results[0], metric);
 
     printBenchmarkHeader("threshold");
-    for (const std::uint32_t threshold : {64u, 128u, 256u}) {
-        const std::vector<double> promo =
-            sweepSuite(sim::promotionConfig(threshold), metric);
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+        const std::vector<double> promo = metricsOf(results[t + 1], metric);
         std::vector<double> change;
         for (std::size_t i = 0; i < base.size(); ++i)
             change.push_back(100.0 * (promo[i] - base[i]) / base[i]);
-        printBenchmarkRow("threshold=" + std::to_string(threshold),
+        printBenchmarkRow("threshold=" + std::to_string(thresholds[t]),
                           change, 1);
     }
     return 0;

@@ -18,10 +18,10 @@ main()
     const auto metric = [](const sim::SimResult &r) {
         return r.effectiveFetchRate;
     };
-    const std::vector<double> base =
-        sweepSuite(sim::baselineConfig(), metric);
-    const std::vector<double> pack =
-        sweepSuite(sim::packingConfig(), metric);
+    const auto results =
+        sweepSuiteConfigs({sim::baselineConfig(), sim::packingConfig()});
+    const std::vector<double> base = metricsOf(results[0], metric);
+    const std::vector<double> pack = metricsOf(results[1], metric);
 
     printBenchmarkHeader("config");
     printBenchmarkRow("baseline", base);

@@ -1,11 +1,192 @@
 #include "bench/harness.h"
 
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
+#include <mutex>
+
+#include "bench/thread_pool.h"
 
 namespace tcsim::bench
 {
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Serializes the per-run progress lines from all worker threads. */
+std::mutex &
+progressMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+void
+reportProgress(const std::string &benchmark, const std::string &config)
+{
+    std::lock_guard<std::mutex> lock(progressMutex());
+    std::fprintf(stderr, "  running %-14s %s...\n", benchmark.c_str(),
+                 config.c_str());
+}
+
+// ----------------------------------------------------------------------
+// Machine-readable results (BENCH_results.json fragments).
+// ----------------------------------------------------------------------
+
+/** One completed simulation, summarized for the JSON trajectory log. */
+struct RecordedRun
+{
+    std::string benchmark;
+    std::string config;
+    std::uint64_t instructions;
+    std::uint64_t cycles;
+    double ipc;
+    double effectiveFetchRate;
+    double condMispredictRate;
+    double wallSeconds;
+};
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    return out;
+}
+
+/** Collects every run of this process; written once at exit. */
+class ResultsRecorder
+{
+  public:
+    static ResultsRecorder &
+    instance()
+    {
+        static ResultsRecorder recorder;
+        return recorder;
+    }
+
+    void
+    record(const sim::SimResult &result, double wall_seconds)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        runs_.push_back(RecordedRun{result.benchmark, result.config,
+                                    result.instructions, result.cycles,
+                                    result.ipc, result.effectiveFetchRate,
+                                    result.condMispredictRate,
+                                    wall_seconds});
+        if (!atexitRegistered_) {
+            atexitRegistered_ = true;
+            std::atexit([] { ResultsRecorder::instance().write(); });
+        }
+    }
+
+    void
+    write()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const std::string path = outputPath();
+        if (path.empty() || runs_.empty())
+            return;
+        std::FILE *out = std::fopen(path.c_str(), "w");
+        if (out == nullptr) {
+            std::fprintf(stderr, "warn: cannot write %s\n", path.c_str());
+            return;
+        }
+        std::fprintf(out,
+                     "{\"exhibit\":\"%s\",\"wall_seconds\":%.3f,"
+                     "\"jobs\":%u,\"runs\":[",
+                     jsonEscape(exhibitName()).c_str(),
+                     secondsSince(start_), defaultJobCount());
+        for (std::size_t i = 0; i < runs_.size(); ++i) {
+            const RecordedRun &run = runs_[i];
+            std::fprintf(
+                out,
+                "%s{\"benchmark\":\"%s\",\"config\":\"%s\","
+                "\"instructions\":%llu,\"cycles\":%llu,\"ipc\":%.6f,"
+                "\"effective_fetch_rate\":%.6f,"
+                "\"cond_mispredict_rate\":%.6f,\"wall_seconds\":%.3f}",
+                i == 0 ? "" : ",", jsonEscape(run.benchmark).c_str(),
+                jsonEscape(run.config).c_str(),
+                static_cast<unsigned long long>(run.instructions),
+                static_cast<unsigned long long>(run.cycles), run.ipc,
+                run.effectiveFetchRate, run.condMispredictRate,
+                run.wallSeconds);
+        }
+        std::fprintf(out, "]}\n");
+        std::fclose(out);
+    }
+
+  private:
+    static std::string
+    exhibitName()
+    {
+#ifdef __GLIBC__
+        return program_invocation_short_name;
+#else
+        return "exhibit";
+#endif
+    }
+
+    static std::string
+    outputPath()
+    {
+        if (const char *path = std::getenv("TCSIM_RESULTS_JSON"))
+            return path;
+        if (const char *dir = std::getenv("TCSIM_RESULTS_DIR"))
+            return std::string(dir) + "/" + exhibitName() + ".json";
+        return {};
+    }
+
+    std::mutex mutex_;
+    std::vector<RecordedRun> runs_;
+    Clock::time_point start_ = Clock::now();
+    bool atexitRegistered_ = false;
+};
+
+/** Execute one request: progress line, simulate, time, record. */
+sim::SimResult
+executeRequest(const RunRequest &request)
+{
+    reportProgress(request.benchmark, request.config.name);
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile(request.benchmark);
+    const workload::Program &program = programFor(request.benchmark);
+
+    const Clock::time_point start = Clock::now();
+    sim::Processor proc(request.config, program);
+    std::uint64_t warmup = 0;
+    if (const char *env = std::getenv("TCSIM_WARMUP"))
+        warmup = std::strtoull(env, nullptr, 10);
+    if (warmup > 0) {
+        proc.run(warmup);
+        proc.resetStats();
+    }
+    const std::uint64_t budget =
+        request.maxInsts != 0 ? request.maxInsts : instBudget(profile);
+    sim::SimResult result = proc.run(warmup + budget);
+    ResultsRecorder::instance().record(result, secondsSince(start));
+    return result;
+}
+
+} // namespace
 
 std::uint64_t
 instBudget(const workload::BenchmarkProfile &profile)
@@ -18,31 +199,106 @@ instBudget(const workload::BenchmarkProfile &profile)
 const workload::Program &
 programFor(const std::string &name)
 {
-    static std::map<std::string, workload::Program> cache;
-    auto it = cache.find(name);
-    if (it == cache.end()) {
-        it = cache
-                 .emplace(name, workload::generateProgram(
-                                    workload::findProfile(name)))
-                 .first;
+    // Each benchmark is generated exactly once; the cache entry is
+    // created under the map mutex and populated under its own
+    // call_once so concurrent requests for different benchmarks
+    // generate in parallel while requests for the same benchmark
+    // block until it is ready.
+    struct CacheEntry
+    {
+        std::once_flag once;
+        std::unique_ptr<workload::Program> program;
+    };
+    static std::mutex cache_mutex;
+    static std::map<std::string, CacheEntry> cache;
+
+    CacheEntry *entry;
+    {
+        std::lock_guard<std::mutex> lock(cache_mutex);
+        entry = &cache[name];
     }
-    return it->second;
+    std::call_once(entry->once, [&] {
+        entry->program = std::make_unique<workload::Program>(
+            workload::generateProgram(workload::findProfile(name)));
+    });
+    return *entry->program;
+}
+
+std::vector<sim::SimResult>
+runAll(const std::vector<RunRequest> &requests, unsigned jobs)
+{
+    std::vector<sim::SimResult> results(requests.size());
+    if (requests.empty())
+        return results;
+
+    // Deterministic collection: worker i writes only slot i, so suite
+    // order is preserved no matter how the pool schedules the jobs.
+    std::unique_ptr<ThreadPool> private_pool;
+    ThreadPool *pool;
+    if (jobs > 0) {
+        private_pool = std::make_unique<ThreadPool>(jobs);
+        pool = private_pool.get();
+    } else {
+        pool = &sharedPool();
+    }
+
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::size_t done = 0;
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        pool->submit([&, i] {
+            results[i] = executeRequest(requests[i]);
+            std::unique_lock<std::mutex> lock(done_mutex);
+            if (++done == requests.size())
+                done_cv.notify_all();
+        });
+    }
+    std::unique_lock<std::mutex> lock(done_mutex);
+    done_cv.wait(lock, [&] { return done == requests.size(); });
+    return results;
+}
+
+std::vector<std::vector<sim::SimResult>>
+sweepMatrix(const std::vector<std::string> &benchmarks,
+            const std::vector<sim::ProcessorConfig> &configs)
+{
+    std::vector<RunRequest> requests;
+    requests.reserve(benchmarks.size() * configs.size());
+    for (const sim::ProcessorConfig &config : configs)
+        for (const std::string &bench : benchmarks)
+            requests.push_back(RunRequest{bench, config, 0});
+
+    const std::vector<sim::SimResult> flat = runAll(requests);
+
+    std::vector<std::vector<sim::SimResult>> results(configs.size());
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        results[c].assign(flat.begin() + c * benchmarks.size(),
+                          flat.begin() + (c + 1) * benchmarks.size());
+    }
+    return results;
+}
+
+std::vector<std::vector<sim::SimResult>>
+sweepSuiteConfigs(const std::vector<sim::ProcessorConfig> &configs)
+{
+    return sweepMatrix(allBenchmarks(), configs);
+}
+
+std::vector<double>
+metricsOf(const std::vector<sim::SimResult> &results,
+          const std::function<double(const sim::SimResult &)> &metric)
+{
+    std::vector<double> values;
+    values.reserve(results.size());
+    for (const sim::SimResult &result : results)
+        values.push_back(metric(result));
+    return values;
 }
 
 sim::SimResult
 runOne(const std::string &benchmark, const sim::ProcessorConfig &config)
 {
-    const workload::BenchmarkProfile &profile =
-        workload::findProfile(benchmark);
-    sim::Processor proc(config, programFor(benchmark));
-    std::uint64_t warmup = 0;
-    if (const char *env = std::getenv("TCSIM_WARMUP"))
-        warmup = std::strtoull(env, nullptr, 10);
-    if (warmup > 0) {
-        proc.run(warmup);
-        proc.resetStats();
-    }
-    return proc.run(warmup + instBudget(profile));
+    return executeRequest(RunRequest{benchmark, config, 0});
 }
 
 std::string
@@ -95,13 +351,7 @@ std::vector<double>
 sweepSuite(const sim::ProcessorConfig &config,
            const std::function<double(const sim::SimResult &)> &metric)
 {
-    std::vector<double> values;
-    for (const std::string &bench : allBenchmarks()) {
-        std::fprintf(stderr, "  running %-14s %s...\n", bench.c_str(),
-                     config.name.c_str());
-        values.push_back(metric(runOne(bench, config)));
-    }
-    return values;
+    return metricsOf(sweepSuiteConfigs({config}).front(), metric);
 }
 
 void
@@ -111,7 +361,7 @@ printBanner(const std::string &exhibit, const std::string &what)
     std::printf("%s: %s\n", exhibit.c_str(), what.c_str());
     std::printf("(Patel, Evers, Patt, ISCA 1998 -- reproduced on synthetic workloads;\n");
     std::printf(" absolute numbers differ from the paper, shapes should match. See\n");
-    std::printf(" EXPERIMENTS.md. Scale with TCSIM_INSTS=<n>.)\n");
+    std::printf(" EXPERIMENTS.md. Scale with TCSIM_INSTS=<n>, fan out with TCSIM_JOBS=<n>.)\n");
     std::printf("==============================================================================\n");
     std::fflush(stdout);
 }

@@ -1,12 +1,21 @@
 /**
  * @file
- * Shared harness for the experiment binaries: one runner per
- * (benchmark, configuration) pair plus fixed-width table printing in
- * the paper's row/series shapes.
+ * Shared harness for the experiment binaries: a parallel experiment
+ * engine fanning independent (benchmark, configuration) simulations
+ * across a shared thread pool, plus fixed-width table printing in the
+ * paper's row/series shapes.
  *
- * Every binary accepts the TCSIM_INSTS environment variable to scale
- * the per-benchmark instruction budget (default: each profile's
- * defaultMaxInsts, 2M).
+ * Environment variables understood by every binary:
+ *  - TCSIM_INSTS: per-benchmark instruction budget (default: each
+ *    profile's defaultMaxInsts, 2M).
+ *  - TCSIM_JOBS: worker threads for the experiment fan-out (default:
+ *    hardware_concurrency). TCSIM_JOBS=1 reproduces the sequential
+ *    engine; results are bit-identical at any job count because each
+ *    simulation owns all of its mutable state.
+ *  - TCSIM_RESULTS_DIR / TCSIM_RESULTS_JSON: when set, the binary
+ *    writes a machine-readable JSON summary of every run (per-run
+ *    IPC/fetch-rate plus the exhibit wall-clock) at exit — to
+ *    "<dir>/<exhibit>.json" or the explicit path respectively.
  */
 
 #ifndef TCSIM_BENCH_HARNESS_H
@@ -27,10 +36,51 @@ namespace tcsim::bench
 /** @return the instruction budget for @p profile (env-overridable). */
 std::uint64_t instBudget(const workload::BenchmarkProfile &profile);
 
-/** Generate and cache the program for @p name (per-process cache). */
+/**
+ * Generate and cache the program for @p name (per-process cache).
+ * Thread-safe: concurrent callers generate each benchmark exactly once
+ * and share the immutable cached Program.
+ */
 const workload::Program &programFor(const std::string &name);
 
-/** Run one (benchmark, config) pair to its budget. */
+/** One independent simulation job for the experiment engine. */
+struct RunRequest
+{
+    std::string benchmark;
+    sim::ProcessorConfig config;
+    /** Instruction budget override; 0 = instBudget(profile). */
+    std::uint64_t maxInsts = 0;
+};
+
+/**
+ * Run every request, fanning out across worker threads, and return the
+ * results in request order (deterministic regardless of job count).
+ *
+ * @param jobs 0 = the shared pool (TCSIM_JOBS workers); otherwise a
+ *        private pool of exactly @p jobs threads (used by tests to pin
+ *        the parallelism level).
+ */
+std::vector<sim::SimResult> runAll(const std::vector<RunRequest> &requests,
+                                   unsigned jobs = 0);
+
+/**
+ * Run @p configs x @p benchmarks in one parallel fan-out.
+ * @return results indexed [config][benchmark].
+ */
+std::vector<std::vector<sim::SimResult>>
+sweepMatrix(const std::vector<std::string> &benchmarks,
+            const std::vector<sim::ProcessorConfig> &configs);
+
+/** Whole-suite convenience: results indexed [config][suite order]. */
+std::vector<std::vector<sim::SimResult>>
+sweepSuiteConfigs(const std::vector<sim::ProcessorConfig> &configs);
+
+/** Extract one metric per result. */
+std::vector<double>
+metricsOf(const std::vector<sim::SimResult> &results,
+          const std::function<double(const sim::SimResult &)> &metric);
+
+/** Run one (benchmark, config) pair to its budget (recorded + timed). */
 sim::SimResult runOne(const std::string &benchmark,
                       const sim::ProcessorConfig &config);
 
@@ -48,8 +98,8 @@ void printBenchmarkRow(const std::string &label,
                        const std::vector<double> &values, int precision = 2);
 
 /**
- * Run @p config across the whole suite, printing progress to stderr,
- * and return one value per benchmark via @p metric.
+ * Run @p config across the whole suite (in parallel on the shared
+ * pool) and return one value per benchmark via @p metric.
  */
 std::vector<double>
 sweepSuite(const sim::ProcessorConfig &config,

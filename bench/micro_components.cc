@@ -7,10 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bpred/bias_table.h"
+#include "bpred/hybrid.h"
 #include "bpred/multi.h"
 #include "memory/cache.h"
 #include "sim/processor.h"
 #include "trace/fill_unit.h"
+#include "trace/trace_cache.h"
 #include "workload/generator.h"
 #include "workload/profile.h"
 
@@ -70,6 +73,90 @@ BM_SplitMbpPredict(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SplitMbpPredict);
+
+/** Build a small straight-line segment starting at @p start. */
+trace::TraceSegment
+makeSegment(Addr start)
+{
+    trace::TraceSegment segment;
+    segment.startAddr = start;
+    for (unsigned i = 0; i < trace::kMaxSegmentInsts; ++i) {
+        trace::TraceInst ti;
+        ti.inst = isa::Instruction{isa::Opcode::Add, 10, 11, 12, 0};
+        ti.pc = start + i * isa::kInstBytes;
+        segment.insts.push_back(ti);
+    }
+    return segment;
+}
+
+void
+BM_TraceCacheLookupHit(benchmark::State &state)
+{
+    // The per-fetch probe: cycle through resident segments so every
+    // lookup hits (the trace-cache steady state of a hot loop).
+    trace::TraceCache cache(trace::TraceCacheParams{2048, 4});
+    constexpr unsigned kResident = 256;
+    for (unsigned i = 0; i < kResident; ++i)
+        cache.insert(makeSegment(0x1000 + i * 64));
+    unsigned i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            cache.lookup(0x1000 + (i++ % kResident) * 64));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceCacheLookupHit);
+
+void
+BM_TraceCacheLookupAllPathAssoc(benchmark::State &state)
+{
+    // The path-associative probe with a caller-owned scratch vector —
+    // the allocation-free pattern the fetch engine uses per cycle.
+    trace::TraceCacheParams params{2048, 4};
+    params.pathAssociativity = true;
+    trace::TraceCache cache(params);
+    constexpr unsigned kResident = 256;
+    for (unsigned i = 0; i < kResident; ++i)
+        cache.insert(makeSegment(0x1000 + i * 64));
+    std::vector<const trace::TraceSegment *> candidates;
+    unsigned i = 0;
+    for (auto _ : state) {
+        cache.lookupAll(0x1000 + (i++ % kResident) * 64, candidates);
+        benchmark::DoNotOptimize(candidates.size());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceCacheLookupAllPathAssoc);
+
+void
+BM_HybridPredict(benchmark::State &state)
+{
+    bpred::HybridPredictor hybrid;
+    std::uint64_t hist = 0x123456789abcdefULL;
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(hybrid.predict(pc, hist));
+        hist = hist * 6364136223846793005ULL + 1;
+        pc += 4;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HybridPredict);
+
+void
+BM_BiasTableUpdate(benchmark::State &state)
+{
+    // The per-retired-branch bias-table update driving promotion.
+    bpred::BranchBiasTable table(bpred::BiasTableParams{});
+    std::uint64_t rng = 0x9e3779b97f4a7c15ULL;
+    for (auto _ : state) {
+        rng = rng * 6364136223846793005ULL + 1;
+        const Addr pc = 0x1000 + (rng >> 33) % 4096 * 4;
+        table.update(pc, (rng >> 17) & 1);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BiasTableUpdate);
 
 void
 BM_FillUnitThroughput(benchmark::State &state)

@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/harness.h"
+#include "bench/thread_pool.h"
 #include "workload/characterize.h"
 
 int
@@ -20,14 +21,18 @@ main()
     std::printf("%-14s %10s %12s %8s %8s %8s %9s\n", "Benchmark",
                 "static", "simulated", "condBr%", "blkSize", "biased%",
                 "longrun%");
-    for (const std::string &name : allBenchmarks()) {
-        const workload::Program &program = programFor(name);
+    const std::vector<std::string> names = allBenchmarks();
+    std::vector<workload::WorkloadStats> stats(names.size());
+    parallelFor(names.size(), [&](std::size_t i) {
+        const workload::Program &program = programFor(names[i]);
         const std::uint64_t budget =
-            instBudget(workload::findProfile(name));
-        const workload::WorkloadStats ws =
-            workload::characterize(program, budget);
+            instBudget(workload::findProfile(names[i]));
+        stats[i] = workload::characterize(program, budget);
+    });
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const workload::WorkloadStats &ws = stats[i];
         std::printf("%-14s %10zu %12llu %8.2f %8.2f %8.1f %9.1f\n",
-                    name.c_str(), program.codeSize(),
+                    names[i].c_str(), programFor(names[i]).codeSize(),
                     static_cast<unsigned long long>(ws.instCount),
                     100.0 * ws.condBranches / ws.instCount,
                     ws.avgFillBlockSize,

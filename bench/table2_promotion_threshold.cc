@@ -26,18 +26,22 @@ main()
         return std::accumulate(v.begin(), v.end(), 0.0) / v.size();
     };
 
-    std::printf("%-22s %22s\n", "Configuration", "Ave effective fetch rate");
-    std::printf("%-22s %22.2f\n", "icache",
-                average(sweepSuite(sim::icacheConfig(), metric)));
-    std::printf("%-22s %22.2f\n", "baseline",
-                average(sweepSuite(sim::baselineConfig(), metric)));
-    for (const std::uint32_t threshold : {8u, 16u, 32u, 64u, 128u, 256u}) {
-        const std::string label =
-            "threshold = " + std::to_string(threshold);
-        std::printf("%-22s %22.2f\n", label.c_str(),
-                    average(sweepSuite(sim::promotionConfig(threshold),
-                                       metric)));
-        std::fflush(stdout);
+    const std::vector<std::uint32_t> thresholds = {8, 16, 32, 64, 128,
+                                                   256};
+    std::vector<sim::ProcessorConfig> configs = {sim::icacheConfig(),
+                                                 sim::baselineConfig()};
+    std::vector<std::string> labels = {"icache", "baseline"};
+    for (const std::uint32_t threshold : thresholds) {
+        configs.push_back(sim::promotionConfig(threshold));
+        labels.push_back("threshold = " + std::to_string(threshold));
     }
+    const auto results = sweepSuiteConfigs(configs);
+
+    std::printf("%-22s %22s\n", "Configuration", "Ave effective fetch rate");
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        std::printf("%-22s %22.2f\n", labels[c].c_str(),
+                    average(metricsOf(results[c], metric)));
+    }
+    std::fflush(stdout);
     return 0;
 }

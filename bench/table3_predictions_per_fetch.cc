@@ -18,19 +18,18 @@ main()
 
     printBanner("Table 3", "Predictions required each fetch cycle");
 
-    const auto row = [&](const sim::ProcessorConfig &config,
+    const auto results = sweepSuiteConfigs(
+        {sim::baselineConfig(), sim::promotionConfig(64)});
+
+    const auto row = [&](const std::vector<sim::SimResult> &sweep,
                          const char *label) {
         double c01 = 0, c2 = 0, c3 = 0;
-        const auto benchmarks = allBenchmarks();
-        for (const std::string &bench : benchmarks) {
-            std::fprintf(stderr, "  running %-14s %s...\n", bench.c_str(),
-                         config.name.c_str());
-            const sim::SimResult r = runOne(bench, config);
+        for (const sim::SimResult &r : sweep) {
             c01 += r.fetchesNeeding01;
             c2 += r.fetchesNeeding2;
             c3 += r.fetchesNeeding3;
         }
-        const double n = static_cast<double>(benchmarks.size());
+        const double n = static_cast<double>(sweep.size());
         std::printf("%-18s %14.0f%% %14.0f%% %14.0f%%\n", label,
                     100 * c01 / n, 100 * c2 / n, 100 * c3 / n);
         std::fflush(stdout);
@@ -38,7 +37,7 @@ main()
 
     std::printf("%-18s %15s %15s %15s\n", "Configuration",
                 "0 or 1 preds", "2 preds", "3 preds");
-    row(sim::baselineConfig(), "baseline");
-    row(sim::promotionConfig(64), "threshold = 64");
+    row(results[0], "baseline");
+    row(results[1], "threshold = 64");
     return 0;
 }

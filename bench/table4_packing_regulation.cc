@@ -47,13 +47,13 @@ main()
                     64, trace::PackingPolicy::NRegulated, 4)},
     };
 
-    // Reference: promotion only.
-    std::vector<double> ref;
-    for (const std::string &bench : miss_heavy) {
-        std::fprintf(stderr, "  running %-14s promotion-only...\n",
-                     bench.c_str());
-        ref.push_back(miss_cycles(runOne(bench, sim::promotionConfig(64))));
-    }
+    // One fan-out for promotion-only (reference) plus every variant on
+    // the miss-heavy benchmarks.
+    std::vector<sim::ProcessorConfig> configs = {sim::promotionConfig(64)};
+    for (const Variant &v : variants)
+        configs.push_back(v.config);
+    const auto matrix = sweepMatrix(miss_heavy, configs);
+    const std::vector<double> ref = metricsOf(matrix[0], miss_cycles);
 
     std::printf("%-14s", "Benchmark");
     for (const Variant &v : variants)
@@ -62,15 +62,13 @@ main()
 
     std::vector<std::vector<double>> increases(variants.size());
     for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        const std::vector<double> cycles =
+            metricsOf(matrix[vi + 1], miss_cycles);
         for (std::size_t bi = 0; bi < miss_heavy.size(); ++bi) {
-            std::fprintf(stderr, "  running %-14s %s...\n",
-                         miss_heavy[bi].c_str(),
-                         variants[vi].config.name.c_str());
-            const double cycles =
-                miss_cycles(runOne(miss_heavy[bi], variants[vi].config));
             increases[vi].push_back(
-                ref[bi] == 0 ? 0.0
-                             : 100.0 * (cycles - ref[bi]) / ref[bi]);
+                ref[bi] == 0
+                    ? 0.0
+                    : 100.0 * (cycles[bi] - ref[bi]) / ref[bi]);
         }
     }
     for (std::size_t bi = 0; bi < miss_heavy.size(); ++bi) {
@@ -85,14 +83,18 @@ main()
     const auto fetch_rate = [](const sim::SimResult &r) {
         return r.effectiveFetchRate;
     };
+    std::vector<sim::ProcessorConfig> variant_configs;
+    for (const Variant &v : variants)
+        variant_configs.push_back(v.config);
+    const auto suite = sweepSuiteConfigs(variant_configs);
     std::printf("%-14s", "AveEffFetch");
-    for (const Variant &v : variants) {
-        const std::vector<double> rates = sweepSuite(v.config, fetch_rate);
+    for (std::size_t vi = 0; vi < variants.size(); ++vi) {
+        const std::vector<double> rates = metricsOf(suite[vi], fetch_rate);
         std::printf("%10.2f",
                     std::accumulate(rates.begin(), rates.end(), 0.0) /
                         rates.size());
-        std::fflush(stdout);
     }
     std::printf("\n");
+    std::fflush(stdout);
     return 0;
 }

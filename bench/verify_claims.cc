@@ -55,12 +55,9 @@ main()
         std::vector<double> effRate, ipc, mispredicts, faults, preds01;
         std::vector<double> branches;
     };
-    const auto sweep = [](const sim::ProcessorConfig &config) {
+    const auto sweep = [](const std::vector<sim::SimResult> &results) {
         Sweep s;
-        for (const std::string &bench : allBenchmarks()) {
-            std::fprintf(stderr, "  running %-14s %s...\n", bench.c_str(),
-                         config.name.c_str());
-            const sim::SimResult r = runOne(bench, config);
+        for (const sim::SimResult &r : results) {
             s.effRate.push_back(r.effectiveFetchRate);
             s.ipc.push_back(r.ipc);
             s.mispredicts.push_back(
@@ -72,11 +69,15 @@ main()
         return s;
     };
 
-    const Sweep icache = sweep(sim::icacheConfig());
-    const Sweep base = sweep(sim::baselineConfig());
-    const Sweep promo = sweep(sim::promotionConfig(64));
-    const Sweep pack = sweep(sim::packingConfig());
-    const Sweep both = sweep(sim::promotionPackingConfig(64));
+    const auto results = sweepSuiteConfigs(
+        {sim::icacheConfig(), sim::baselineConfig(),
+         sim::promotionConfig(64), sim::packingConfig(),
+         sim::promotionPackingConfig(64)});
+    const Sweep icache = sweep(results[0]);
+    const Sweep base = sweep(results[1]);
+    const Sweep promo = sweep(results[2]);
+    const Sweep pack = sweep(results[3]);
+    const Sweep both = sweep(results[4]);
 
     // --- Claim 1: the trace cache transforms fetch bandwidth.
     {

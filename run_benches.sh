@@ -1,12 +1,47 @@
 #!/bin/bash
 # Runs every experiment binary, teeing combined output.
+#
+# Each exhibit fans its (benchmark, config) jobs across TCSIM_JOBS
+# worker threads (default: all cores); results are identical at any
+# job count. Per-exhibit wall-clock and per-run metrics are merged
+# into BENCH_results.json so the perf trajectory is machine-readable.
 cd /root/repo
+
+results_dir=.bench_results.tmp
+rm -rf "$results_dir"
+mkdir -p "$results_dir"
 : > bench_output.txt
+
+total_start=$(date +%s)
 for b in build/bench/*; do
     [ -x "$b" ] && [ -f "$b" ] || continue
     name=$(basename "$b")
     echo "### $name" | tee -a bench_output.txt
-    "$b" 2>>bench_stderr.log | tee -a bench_output.txt
+    start=$(date +%s)
+    TCSIM_RESULTS_DIR="$results_dir" "$b" 2>>bench_stderr.log \
+        | tee -a bench_output.txt
+    end=$(date +%s)
+    echo "### $name took $((end - start))s" | tee -a bench_output.txt
     echo | tee -a bench_output.txt
 done
-echo "ALL BENCHES COMPLETE"
+total_end=$(date +%s)
+total=$((total_end - total_start))
+
+# Merge the per-exhibit JSON fragments (one object per line each)
+# into a single results file.
+{
+    printf '{"schema":"tcsim-bench-results-v1","jobs":"%s",' \
+        "${TCSIM_JOBS:-auto}"
+    printf '"total_wall_seconds":%d,"exhibits":[' "$total"
+    first=1
+    for f in "$results_dir"/*.json; do
+        [ -f "$f" ] || continue
+        [ $first -eq 1 ] || printf ','
+        first=0
+        tr -d '\n' < "$f"
+    done
+    printf ']}\n'
+} > BENCH_results.json
+rm -rf "$results_dir"
+
+echo "ALL BENCHES COMPLETE in ${total}s (results: BENCH_results.json)"

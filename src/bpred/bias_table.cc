@@ -1,5 +1,7 @@
 #include "bpred/bias_table.h"
 
+#include <bit>
+
 #include "common/bitutils.h"
 #include "common/log.h"
 #include "isa/instruction.h"
@@ -13,6 +15,9 @@ BranchBiasTable::BranchBiasTable(const BiasTableParams &params)
     TCSIM_ASSERT(isPowerOf2(params_.entries));
     TCSIM_ASSERT(params_.promoteThreshold >= 1);
     TCSIM_ASSERT(params_.counterMax >= params_.promoteThreshold);
+    indexMask_ = params_.entries - 1;
+    tagShift_ = static_cast<std::uint32_t>(
+        std::countr_zero(params_.entries));
     entries_.resize(params_.entries);
 }
 
@@ -20,13 +25,13 @@ std::uint32_t
 BranchBiasTable::indexOf(Addr pc) const
 {
     return static_cast<std::uint32_t>((pc / isa::kInstBytes) &
-                                      (params_.entries - 1));
+                                      indexMask_);
 }
 
 Addr
 BranchBiasTable::tagOf(Addr pc) const
 {
-    return (pc / isa::kInstBytes) / params_.entries;
+    return (pc / isa::kInstBytes) >> tagShift_;
 }
 
 void

@@ -87,6 +87,8 @@ class BranchBiasTable
     Addr tagOf(Addr pc) const;
 
     BiasTableParams params_;
+    std::uint32_t indexMask_; ///< entries - 1, hoisted
+    std::uint32_t tagShift_;  ///< log2(entries): tag by shift, not divide
     std::vector<Entry> entries_;
     std::uint64_t promotions_ = 0;
     std::uint64_t demotions_ = 0;

@@ -14,10 +14,12 @@ HybridPredictor::HybridPredictor(const HybridParams &params)
     TCSIM_ASSERT(isPowerOf2(params_.bhtEntries));
     tableMask_ =
         static_cast<std::uint32_t>(mask(params_.historyBits));
+    localMask_ =
+        static_cast<std::uint32_t>(mask(params_.localHistoryBits));
+    bhtMask_ = params_.bhtEntries - 1;
     gshare_.assign(tableMask_ + 1, SaturatingCounter(2, 1));
-    pasPattern_.assign(
-        static_cast<std::size_t>(mask(params_.localHistoryBits)) + 1,
-        SaturatingCounter(2, 1));
+    pasPattern_.assign(static_cast<std::size_t>(localMask_) + 1,
+                       SaturatingCounter(2, 1));
     selector_.assign(tableMask_ + 1, SaturatingCounter(2, 1));
     localHistory_.assign(params_.bhtEntries, 0);
 }
@@ -33,8 +35,7 @@ HybridPredictor::gshareIndex(Addr pc, std::uint64_t ghist) const
 std::uint32_t
 HybridPredictor::bhtIndex(Addr pc) const
 {
-    return static_cast<std::uint32_t>(pc / isa::kInstBytes) &
-           (params_.bhtEntries - 1);
+    return static_cast<std::uint32_t>(pc / isa::kInstBytes) & bhtMask_;
 }
 
 HybridCtx
@@ -44,8 +45,7 @@ HybridPredictor::predict(Addr pc, std::uint64_t ghist) const
     ctx.gshareIdx = gshareIndex(pc, ghist);
     ctx.selectorIdx = ctx.gshareIdx;
     const std::uint32_t local = localHistory_[bhtIndex(pc)];
-    ctx.pasPatternIdx =
-        local & static_cast<std::uint32_t>(mask(params_.localHistoryBits));
+    ctx.pasPatternIdx = local & localMask_;
     ctx.gsharePred = gshare_[ctx.gshareIdx].predictTaken();
     ctx.pasPred = pasPattern_[ctx.pasPatternIdx].predictTaken();
     ctx.prediction = selector_[ctx.selectorIdx].predictTaken()
@@ -64,7 +64,7 @@ HybridPredictor::update(Addr pc, const HybridCtx &ctx, bool taken)
 
     std::uint32_t &local = localHistory_[bhtIndex(pc)];
     local = ((local << 1) | static_cast<std::uint32_t>(taken)) &
-            static_cast<std::uint32_t>(mask(params_.localHistoryBits));
+            localMask_;
 }
 
 } // namespace tcsim::bpred

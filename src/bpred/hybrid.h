@@ -59,6 +59,8 @@ class HybridPredictor
 
     HybridParams params_;
     std::uint32_t tableMask_;
+    std::uint32_t localMask_; ///< mask(localHistoryBits), hoisted
+    std::uint32_t bhtMask_;   ///< bhtEntries - 1, hoisted
     std::vector<SaturatingCounter> gshare_;
     std::vector<SaturatingCounter> pasPattern_;
     std::vector<SaturatingCounter> selector_; // toward max = use PAs

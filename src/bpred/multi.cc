@@ -7,7 +7,8 @@
 namespace tcsim::bpred
 {
 
-TreeMbp::TreeMbp(std::uint32_t entries) : entries_(entries)
+TreeMbp::TreeMbp(std::uint32_t entries)
+    : entries_(entries), indexMask_(entries - 1)
 {
     TCSIM_ASSERT(isPowerOf2(entries_));
     counters_.assign(static_cast<std::size_t>(entries_) * 7,
@@ -19,7 +20,7 @@ TreeMbp::indexOf(Addr fetch_addr, std::uint64_t history) const
 {
     return static_cast<std::uint32_t>(
                (fetch_addr / isa::kInstBytes) ^ history) &
-           (entries_ - 1);
+           indexMask_;
 }
 
 bool
@@ -47,6 +48,7 @@ SplitMbp::SplitMbp(std::uint32_t first, std::uint32_t second,
     for (unsigned t = 0; t < 3; ++t) {
         TCSIM_ASSERT(isPowerOf2(sizes[t]));
         tables_[t].assign(sizes[t], SaturatingCounter(2, 1));
+        indexMasks_[t] = sizes[t] - 1;
     }
 }
 
@@ -56,7 +58,7 @@ SplitMbp::indexOf(Addr fetch_addr, std::uint64_t history,
 {
     return static_cast<std::uint32_t>(
                (fetch_addr / isa::kInstBytes) ^ history) &
-           (static_cast<std::uint32_t>(tables_[position].size()) - 1);
+           indexMasks_[position];
 }
 
 bool

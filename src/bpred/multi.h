@@ -89,6 +89,7 @@ class TreeMbp : public MultipleBranchPredictor
     }
 
     std::uint32_t entries_;
+    std::uint32_t indexMask_; ///< entries_ - 1, hoisted off the hot path
     std::vector<SaturatingCounter> counters_; // entries_ x 7
 };
 
@@ -109,6 +110,7 @@ class SplitMbp : public MultipleBranchPredictor
                           unsigned position) const;
 
     std::vector<SaturatingCounter> tables_[3];
+    std::uint32_t indexMasks_[3]; ///< per-table size - 1, hoisted
 };
 
 } // namespace tcsim::bpred

@@ -141,11 +141,14 @@ class Histogram
 class StatDump
 {
   public:
-    /** Add one named scalar to the dump. */
+    /** Add one named scalar to the dump (name taken by value so
+     * composed names move in without an extra copy). */
     void
-    add(const std::string &name, double value)
+    add(std::string name, double value)
     {
-        entries_.emplace_back(name, value);
+        if (entries_.empty())
+            entries_.reserve(64);
+        entries_.emplace_back(std::move(name), value);
     }
 
     /** Write all entries as "name value" lines. */

@@ -99,6 +99,21 @@ struct DynInst
     bool isLoad() const { return isa::isLoad(inst.op); }
     bool isStore() const { return isa::isStore(inst.op); }
     bool isCondBranch() const { return isa::isCondBranch(inst.op); }
+
+    /**
+     * Reinitialize a recycled storage slot for sequence number
+     * @p new_seq, keeping the waiters allocation so slot reuse does
+     * not reallocate on every dispatched instruction.
+     */
+    void
+    reset(InstSeqNum new_seq)
+    {
+        std::vector<InstSeqNum> recycled = std::move(waiters);
+        recycled.clear();
+        *this = DynInst{};
+        waiters = std::move(recycled);
+        seq = new_seq;
+    }
 };
 
 } // namespace tcsim::core

@@ -91,10 +91,9 @@ FetchEngine::fetchCycle(Addr pc, FetchBatch &out)
         if (params_.pathAssociativity) {
             // Select the same-start segment whose embedded path best
             // matches the current predictions.
-            std::vector<const trace::TraceSegment *> candidates;
-            traceCache_->lookupAll(pc, candidates);
+            traceCache_->lookupAll(pc, candidates_);
             unsigned best = 0;
-            for (const trace::TraceSegment *cand : candidates) {
+            for (const trace::TraceSegment *cand : candidates_) {
                 const unsigned matched =
                     predictedMatchLength(pc, *cand) + 1;
                 if (matched > best) {

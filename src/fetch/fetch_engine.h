@@ -142,6 +142,9 @@ class FetchEngine
     bpred::MultipleBranchPredictor *mbp_;
     bpred::HybridPredictor *hybrid_;
     FrontEndState &state_;
+    /** Scratch for the path-associative probe; reused across fetches
+     * so the per-cycle lookup never allocates. */
+    std::vector<const trace::TraceSegment *> candidates_;
 };
 
 } // namespace tcsim::fetch

@@ -107,7 +107,9 @@ Processor::checkStoreOrderViolation(core::DynInst &store)
         return;
 
     recordMemDepViolation(violator->pc);
-    if (std::getenv("TCSIM_DEBUG_RETIRE")) {
+    static const bool debug_retire =
+        std::getenv("TCSIM_DEBUG_RETIRE") != nullptr;
+    if (debug_retire) {
         std::fprintf(stderr,
                      "violation: store seq=%llu pc=%llx addr=%llx "
                      "load seq=%llu pc=%llx act=%d\n",
@@ -186,8 +188,7 @@ Processor::allocInst()
                      "DynInst storage span exhausted");
     }
     DynInst &slot = robStorage_[nextSeq_ % kRobStorageSlots];
-    slot = DynInst{};
-    slot.seq = nextSeq_;
+    slot.reset(nextSeq_);
     robOrder_.push_back(nextSeq_);
     ++nextSeq_;
     return slot;
@@ -316,7 +317,12 @@ Processor::fetchStage()
 
     PendingBatch pending;
     pending.batch = std::move(scratchBatch_);
-    scratchBatch_ = fetch::FetchBatch{};
+    if (batchPool_.empty()) {
+        scratchBatch_ = fetch::FetchBatch{};
+    } else {
+        scratchBatch_ = std::move(batchPool_.back());
+        batchPool_.pop_back();
+    }
     if (fillUnit_ != nullptr &&
         pending.batch.source == fetch::FetchSource::ICache) {
         fillUnit_->noteFetchMiss(fetchPc_);
@@ -437,6 +443,7 @@ Processor::dispatchStage()
             enqueueReady(di);
     }
 
+    batchPool_.push_back(std::move(pb.batch));
     fetchQueue_.pop_front();
 }
 
@@ -974,6 +981,8 @@ Processor::applyRecovery()
     if (debugRecoveryLog_.size() > 24) debugRecoveryLog_.pop_front();
 
     squashYoungerThan(req.keepSeq);
+    for (PendingBatch &pb : fetchQueue_)
+        batchPool_.push_back(std::move(pb.batch));
     fetchQueue_.clear();
 
     // Salvage: activate the surviving inactive suffix.

@@ -244,6 +244,10 @@ class Processor
     // ------------------------------------------------------------------
     std::deque<PendingBatch> fetchQueue_;
     fetch::FetchBatch scratchBatch_;
+    /** Retired FetchBatch shells recycled into scratchBatch_ so the
+     * fetch loop reuses instruction-vector capacity instead of
+     * reallocating every cycle. */
+    std::vector<fetch::FetchBatch> batchPool_;
     Addr fetchPc_ = 0;
     std::uint64_t nextFetchGroup_ = 1;
     Cycle icacheStallUntil_ = 0;

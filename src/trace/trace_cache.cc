@@ -15,14 +15,14 @@ TraceCache::TraceCache(const TraceCacheParams &params) : params_(params)
     TCSIM_ASSERT(params_.numSegments % params_.assoc == 0);
     numSets_ = params_.numSegments / params_.assoc;
     TCSIM_ASSERT(isPowerOf2(numSets_));
+    setMask_ = numSets_ - 1;
     ways_.resize(params_.numSegments);
 }
 
 std::uint32_t
 TraceCache::setOf(Addr addr) const
 {
-    return static_cast<std::uint32_t>(addr / isa::kInstBytes) &
-           (numSets_ - 1);
+    return static_cast<std::uint32_t>(addr / isa::kInstBytes) & setMask_;
 }
 
 const TraceSegment *

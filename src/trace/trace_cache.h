@@ -114,6 +114,7 @@ class TraceCache
 
     TraceCacheParams params_;
     std::uint32_t numSets_;
+    std::uint32_t setMask_; ///< numSets_ - 1, hoisted off the lookup path
     std::vector<Way> ways_; // numSets_ * assoc, set-major
     std::uint64_t tick_ = 0;
 

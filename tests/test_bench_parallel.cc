@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the parallel experiment engine: the thread pool itself and
+ * the tier-1 determinism guarantee — a parallel sweep must be
+ * bit-identical to the sequential sweep because simulations share no
+ * mutable state.
+ */
+
+#include <atomic>
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "bench/harness.h"
+#include "bench/thread_pool.h"
+#include "sim/processor.h"
+
+namespace
+{
+
+using namespace tcsim;
+using namespace tcsim::bench;
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.threadCount(), 4u);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, WaitIsReusable)
+{
+    ThreadPool pool(2);
+    std::atomic<int> count{0};
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 1);
+    pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPool, DefaultJobCountHonorsEnv)
+{
+    ::setenv("TCSIM_JOBS", "3", 1);
+    EXPECT_EQ(defaultJobCount(), 3u);
+    ::setenv("TCSIM_JOBS", "0", 1); // invalid: falls back to hardware
+    EXPECT_GE(defaultJobCount(), 1u);
+    ::unsetenv("TCSIM_JOBS");
+    EXPECT_GE(defaultJobCount(), 1u);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndex)
+{
+    std::vector<int> hits(257, 0);
+    parallelFor(hits.size(),
+                [&hits](std::size_t i) { hits[i] = 1; });
+    for (const int hit : hits)
+        EXPECT_EQ(hit, 1);
+}
+
+/** Every SimResult field that feeds a published table. */
+void
+expectIdentical(const sim::SimResult &a, const sim::SimResult &b)
+{
+    EXPECT_EQ(a.benchmark, b.benchmark);
+    EXPECT_EQ(a.config, b.config);
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.ipc, b.ipc);
+    EXPECT_EQ(a.effectiveFetchRate, b.effectiveFetchRate);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.condMispredicts, b.condMispredicts);
+    EXPECT_EQ(a.promotedFaults, b.promotedFaults);
+    EXPECT_EQ(a.indirectMispredicts, b.indirectMispredicts);
+    EXPECT_EQ(a.condMispredictRate, b.condMispredictRate);
+    EXPECT_EQ(a.meanResolutionTime, b.meanResolutionTime);
+    EXPECT_EQ(a.fetchesNeeding01, b.fetchesNeeding01);
+    EXPECT_EQ(a.fetchesNeeding2, b.fetchesNeeding2);
+    EXPECT_EQ(a.fetchesNeeding3, b.fetchesNeeding3);
+    EXPECT_EQ(a.tcLookups, b.tcLookups);
+    EXPECT_EQ(a.tcHits, b.tcHits);
+    EXPECT_EQ(a.icacheMisses, b.icacheMisses);
+    EXPECT_EQ(a.promotedRetired, b.promotedRetired);
+    for (unsigned c = 0;
+         c < static_cast<unsigned>(sim::CycleCategory::NumCategories);
+         ++c)
+        EXPECT_EQ(a.cycleCat[c], b.cycleCat[c]);
+}
+
+TEST(BenchParallel, SweepIsBitIdenticalAcrossJobCounts)
+{
+    // The tier-1 determinism guarantee: fanning the suite across four
+    // workers must reproduce the sequential results exactly, for the
+    // paper's headline configurations (trace cache + fill unit + bias
+    // table, and the icache/hybrid-predictor front end).
+    constexpr std::uint64_t kBudget = 15000;
+    const std::vector<sim::ProcessorConfig> configs = {
+        sim::baselineConfig(),
+        sim::promotionPackingConfig(64,
+                                    trace::PackingPolicy::CostRegulated),
+        sim::icacheConfig(),
+    };
+
+    std::vector<RunRequest> requests;
+    for (const sim::ProcessorConfig &config : configs)
+        for (const std::string &bench : allBenchmarks())
+            requests.push_back(RunRequest{bench, config, kBudget});
+
+    const std::vector<sim::SimResult> sequential = runAll(requests, 1);
+    const std::vector<sim::SimResult> parallel = runAll(requests, 4);
+
+    ASSERT_EQ(sequential.size(), requests.size());
+    ASSERT_EQ(parallel.size(), requests.size());
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+        SCOPED_TRACE(requests[i].benchmark + " / " +
+                     requests[i].config.name);
+        expectIdentical(sequential[i], parallel[i]);
+    }
+}
+
+TEST(BenchParallel, SweepMatrixShapeMatchesInputs)
+{
+    const std::vector<std::string> benchmarks = {"compress", "li"};
+    std::vector<RunRequest> requests;
+    for (const std::string &bench : benchmarks)
+        requests.push_back(
+            RunRequest{bench, sim::baselineConfig(), 5000});
+    const std::vector<sim::SimResult> results = runAll(requests, 2);
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].benchmark, "compress");
+    EXPECT_EQ(results[1].benchmark, "li");
+    for (const sim::SimResult &r : results)
+        EXPECT_GE(r.instructions, 5000u);
+}
+
+} // namespace
