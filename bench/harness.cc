@@ -56,6 +56,7 @@ struct RecordedRun
     double effectiveFetchRate;
     double condMispredictRate;
     double wallSeconds;
+    double simMips; ///< simulated instructions per wall microsecond
 };
 
 std::string
@@ -87,11 +88,16 @@ class ResultsRecorder
     record(const sim::SimResult &result, double wall_seconds)
     {
         std::lock_guard<std::mutex> lock(mutex_);
+        const double sim_mips =
+            wall_seconds > 0.0
+                ? static_cast<double>(result.instructions) /
+                      (wall_seconds * 1e6)
+                : 0.0;
         runs_.push_back(RecordedRun{result.benchmark, result.config,
                                     result.instructions, result.cycles,
                                     result.ipc, result.effectiveFetchRate,
                                     result.condMispredictRate,
-                                    wall_seconds});
+                                    wall_seconds, sim_mips});
         if (!atexitRegistered_) {
             atexitRegistered_ = true;
             std::atexit([] { ResultsRecorder::instance().write(); });
@@ -122,13 +128,14 @@ class ResultsRecorder
                 "%s{\"benchmark\":\"%s\",\"config\":\"%s\","
                 "\"instructions\":%llu,\"cycles\":%llu,\"ipc\":%.6f,"
                 "\"effective_fetch_rate\":%.6f,"
-                "\"cond_mispredict_rate\":%.6f,\"wall_seconds\":%.3f}",
+                "\"cond_mispredict_rate\":%.6f,\"wall_seconds\":%.3f,"
+                "\"sim_mips\":%.3f}",
                 i == 0 ? "" : ",", jsonEscape(run.benchmark).c_str(),
                 jsonEscape(run.config).c_str(),
                 static_cast<unsigned long long>(run.instructions),
                 static_cast<unsigned long long>(run.cycles), run.ipc,
                 run.effectiveFetchRate, run.condMispredictRate,
-                run.wallSeconds);
+                run.wallSeconds, run.simMips);
         }
         std::fprintf(out, "]}\n");
         std::fclose(out);

@@ -14,8 +14,15 @@
  *    simulation owns all of its mutable state.
  *  - TCSIM_RESULTS_DIR / TCSIM_RESULTS_JSON: when set, the binary
  *    writes a machine-readable JSON summary of every run (per-run
- *    IPC/fetch-rate plus the exhibit wall-clock) at exit — to
+ *    IPC/fetch-rate, wall-clock, and simulated MIPS — retired
+ *    instructions per wall microsecond) at exit — to
  *    "<dir>/<exhibit>.json" or the explicit path respectively.
+ *    `run_benches.sh --long` sets TCSIM_INSTS=1000000 for
+ *    statistically meaningful sweeps.
+ *  - TCSIM_VERIFY_WINDOW_INDEX: when set, the simulator runs the
+ *    original O(window) reference scans beside every indexed lookup
+ *    (store-order violations, load forwarding/disambiguation,
+ *    promoted-fault checkpoints) and asserts agreement per event.
  */
 
 #ifndef TCSIM_BENCH_HARNESS_H

@@ -3,9 +3,20 @@
 #
 # Each exhibit fans its (benchmark, config) jobs across TCSIM_JOBS
 # worker threads (default: all cores); results are identical at any
-# job count. Per-exhibit wall-clock and per-run metrics are merged
-# into BENCH_results.json so the perf trajectory is machine-readable.
+# job count. Per-exhibit wall-clock and per-run metrics (including
+# simulated MIPS) are merged into BENCH_results.json so the perf
+# trajectory is machine-readable.
+#
+# Usage: run_benches.sh [--long]
+#   --long  raise the default instruction budget to 1M per run
+#           (statistically meaningful sweeps; an explicit TCSIM_INSTS
+#           still wins).
 cd /root/repo
+
+if [ "${1:-}" = "--long" ]; then
+    export TCSIM_INSTS="${TCSIM_INSTS:-1000000}"
+    shift
+fi
 
 results_dir=.bench_results.tmp
 rm -rf "$results_dir"

@@ -85,6 +85,11 @@ class ReturnAddressStack
     /** Replace the whole stack (rebuild-based recovery). */
     void assign(std::vector<Addr> contents) { stack_ = std::move(contents); }
 
+    /** Replace the whole stack by swapping buffers: @p contents
+     * receives the old stack's storage, so a caller that rebuilds
+     * into a reused scratch vector never allocates in steady state. */
+    void assignSwap(std::vector<Addr> &contents) { stack_.swap(contents); }
+
     /** @return the full stack contents, bottom first. */
     const std::vector<Addr> &contents() const { return stack_; }
 

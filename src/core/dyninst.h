@@ -31,6 +31,11 @@ struct DynInst
     isa::Instruction inst;
     Addr pc = 0;
     std::uint64_t fetchGroup = 0;
+    /** Seq of the first instruction of this fetch group. Groups
+     * dispatch atomically, so [groupStartSeq, ...] is contiguous;
+     * recovery uses it to find fetch-block boundaries without
+     * scanning the window. */
+    InstSeqNum groupStartSeq = kInvalidSeqNum;
     Cycle fetchCycle = 0;
     fetch::FetchSource source = fetch::FetchSource::ICache;
 

@@ -55,6 +55,7 @@ class NodeTables
                 (allocNext_ + i) % params_.numUnits;
             if (occupancy_[u] < params_.entriesPerUnit) {
                 ++occupancy_[u];
+                ++totalOccupied_;
                 unit = static_cast<std::uint8_t>(u);
                 allocNext_ = (u + 1) % params_.numUnits;
                 return true;
@@ -68,7 +69,9 @@ class NodeTables
     release(std::uint8_t unit)
     {
         TCSIM_ASSERT(occupancy_[unit] > 0);
+        TCSIM_ASSERT(totalOccupied_ > 0);
         --occupancy_[unit];
+        --totalOccupied_;
     }
 
     /** Add a ready instruction to its unit's queue. */
@@ -84,15 +87,9 @@ class NodeTables
         return readyQueues_[unit];
     }
 
-    /** Total occupied entries across all tables. */
-    std::uint32_t
-    totalOccupied() const
-    {
-        std::uint32_t total = 0;
-        for (const std::uint32_t occ : occupancy_)
-            total += occ;
-        return total;
-    }
+    /** Total occupied entries across all tables (O(1): maintained
+     * on allocate/release — dispatch checks this every cycle). */
+    std::uint32_t totalOccupied() const { return totalOccupied_; }
 
     /** Drop all state (full squash helper for tests). */
     void
@@ -102,6 +99,7 @@ class NodeTables
             occ = 0;
         for (auto &queue : readyQueues_)
             queue.clear();
+        totalOccupied_ = 0;
     }
 
   private:
@@ -109,6 +107,7 @@ class NodeTables
     std::vector<std::uint32_t> occupancy_;
     std::vector<std::deque<InstSeqNum>> readyQueues_;
     std::uint32_t allocNext_ = 0;
+    std::uint32_t totalOccupied_ = 0;
 };
 
 } // namespace tcsim::core

@@ -59,6 +59,10 @@ Processor::Processor(const ProcessorConfig &config,
 
     robStorage_.resize(kRobStorageSlots);
     memDepTable_.assign(4096, 0);
+    oracleRing_.resize(1024); // power of two; grows by doubling
+    loadAddrIndex_.resize(kAddrIndexBuckets);
+    storeAddrIndex_.resize(kAddrIndexBuckets);
+    verifyIndexed_ = std::getenv("TCSIM_VERIFY_WINDOW_INDEX") != nullptr;
     fetchPc_ = program_.entry();
 }
 
@@ -89,19 +93,12 @@ Processor::checkStoreOrderViolation(core::DynInst &store)
     // A store just resolved its address: any younger load to the same
     // address that already executed consumed stale data and must
     // replay (memory-order violation).
-    const DynInst *violator = nullptr;
-    for (auto it = robOrder_.rbegin(); it != robOrder_.rend(); ++it) {
-        if (*it <= store.seq)
-            break;
-        const DynInst *cand = instFor(*it);
-        if (cand == nullptr || cand->discarded)
-            continue;
-        if (!cand->active && cand->fetchGroup != store.fetchGroup)
-            continue;
-        if (cand->isLoad() && cand->fired &&
-            cand->memAddr == store.memAddr) {
-            violator = cand; // keep scanning: want the oldest violator
-        }
+    const DynInst *violator = oldestViolatingLoadAfter(store);
+    if (verifyIndexed_) {
+        TCSIM_ASSERT(violator == slowOldestViolatingLoadAfter(store),
+                     "indexed violation check diverges from reference "
+                     "scan (store seq %llu)",
+                     static_cast<unsigned long long>(store.seq));
     }
     if (violator == nullptr)
         return;
@@ -127,11 +124,12 @@ Processor::checkStoreOrderViolation(core::DynInst &store)
     req.redirect = violator->pc;
     req.cause = CycleCategory::BranchMisses;
     req.keepSeq = 0;
-    for (auto it = robOrder_.rbegin(); it != robOrder_.rend(); ++it) {
-        if (*it < violator->seq) {
-            req.keepSeq = *it;
-            break;
-        }
+    const auto pos = robLowerBound(violator->seq);
+    if (pos != robOrder_.begin())
+        req.keepSeq = *std::prev(pos);
+    if (verifyIndexed_) {
+        TCSIM_ASSERT(req.keepSeq == slowKeepSeqBefore(violator->seq),
+                     "binary-search keepSeq diverges from reference scan");
     }
     requestRecovery(req);
 }
@@ -143,10 +141,29 @@ Processor::~Processor() = default;
 // ----------------------------------------------------------------------
 
 void
+Processor::growOracleRing()
+{
+    // Double the ring and re-place the live span by the new mask.
+    std::vector<workload::StepResult> bigger(oracleRing_.size() * 2);
+    const std::uint64_t new_mask = bigger.size() - 1;
+    const std::uint64_t old_mask = oracleRing_.size() - 1;
+    for (std::uint64_t i = 0; i < oracleCount_; ++i) {
+        const std::uint64_t idx = oracleBase_ + i;
+        bigger[idx & new_mask] = oracleRing_[idx & old_mask];
+    }
+    oracleRing_ = std::move(bigger);
+}
+
+void
 Processor::extendOracle(std::uint64_t upto_idx)
 {
-    while (oracleBase_ + oracleBuf_.size() <= upto_idx)
-        oracleBuf_.push_back(oracle_->step());
+    while (oracleBase_ + oracleCount_ <= upto_idx) {
+        if (oracleCount_ == oracleRing_.size())
+            growOracleRing();
+        const std::uint64_t idx = oracleBase_ + oracleCount_;
+        oracleRing_[idx & (oracleRing_.size() - 1)] = oracle_->step();
+        ++oracleCount_;
+    }
 }
 
 const workload::StepResult &
@@ -154,7 +171,7 @@ Processor::oracleAt(std::uint64_t idx)
 {
     TCSIM_ASSERT(idx >= oracleBase_, "oracle entry already trimmed");
     extendOracle(idx);
-    return oracleBuf_[idx - oracleBase_];
+    return oracleRing_[idx & (oracleRing_.size() - 1)];
 }
 
 // ----------------------------------------------------------------------
@@ -192,6 +209,320 @@ Processor::allocInst()
     robOrder_.push_back(nextSeq_);
     ++nextSeq_;
     return slot;
+}
+
+// ----------------------------------------------------------------------
+// Window-indexed lookups.
+//
+// robOrder_ is sorted ascending but has gaps (squashes pop the back
+// without rewinding nextSeq_, preserving stale-reference detection),
+// so positioning is O(log n) binary search. Address lookups go
+// through small hashed seq-list buckets; membership invariants:
+//   loadAddrIndex_   = fired, un-retired loads (keyed by memAddr)
+//   storeAddrIndex_  = address-known, un-retired stores
+//   unknownStores_   = dispatched stores whose address is unresolved
+//   checkpointStack_ = active block-ending branches, ascending
+// maintained at dispatch, address resolution, salvage activation,
+// squash, and retire.
+// ----------------------------------------------------------------------
+
+std::deque<InstSeqNum>::const_iterator
+Processor::robLowerBound(InstSeqNum seq) const
+{
+    return std::lower_bound(robOrder_.begin(), robOrder_.end(), seq);
+}
+
+std::uint32_t
+Processor::addrBucket(Addr addr)
+{
+    // Fibonacci hash of the word address.
+    return static_cast<std::uint32_t>(
+               (addr * 0x9e3779b97f4a7c15ull) >> 32) &
+           (kAddrIndexBuckets - 1);
+}
+
+void
+Processor::addrIndexInsert(std::vector<std::vector<InstSeqNum>> &index,
+                           Addr addr, InstSeqNum seq)
+{
+    index[addrBucket(addr)].push_back(seq);
+}
+
+void
+Processor::addrIndexRemove(std::vector<std::vector<InstSeqNum>> &index,
+                           Addr addr, InstSeqNum seq)
+{
+    std::vector<InstSeqNum> &bucket = index[addrBucket(addr)];
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (bucket[i] == seq) {
+            bucket[i] = bucket.back();
+            bucket.pop_back(); // capacity kept: no steady-state alloc
+            return;
+        }
+    }
+    TCSIM_ASSERT(false, "seq %llu missing from address index",
+                 static_cast<unsigned long long>(seq));
+}
+
+void
+Processor::unknownStoreResolved(InstSeqNum seq)
+{
+    const auto it =
+        std::lower_bound(unknownStores_.begin(), unknownStores_.end(), seq);
+    TCSIM_ASSERT(it != unknownStores_.end() && *it == seq,
+                 "resolved store missing from unknown-store list");
+    unknownStores_.erase(it);
+}
+
+const DynInst *
+Processor::oldestViolatingLoadAfter(const DynInst &store) const
+{
+    // Visibility filter matches the reference scan: discarded never,
+    // inactive only within the store's own fetch group.
+    const DynInst *violator = nullptr;
+    for (const InstSeqNum seq : loadAddrIndex_[addrBucket(store.memAddr)]) {
+        if (seq <= store.seq)
+            continue;
+        if (violator != nullptr && seq >= violator->seq)
+            continue;
+        const DynInst *cand = instFor(seq);
+        TCSIM_ASSERT(cand != nullptr, "stale load-index entry");
+        if (cand->memAddr != store.memAddr)
+            continue; // bucket collision
+        if (cand->discarded)
+            continue;
+        if (!cand->active && cand->fetchGroup != store.fetchGroup)
+            continue;
+        violator = cand;
+    }
+    return violator;
+}
+
+const DynInst *
+Processor::youngestMatchingStoreBefore(const DynInst &load) const
+{
+    const DynInst *match = nullptr;
+    for (const InstSeqNum seq : storeAddrIndex_[addrBucket(load.memAddr)]) {
+        if (seq >= load.seq)
+            continue;
+        if (match != nullptr && seq <= match->seq)
+            continue;
+        const DynInst *store = instFor(seq);
+        TCSIM_ASSERT(store != nullptr, "stale store-index entry");
+        if (store->memAddr != load.memAddr)
+            continue; // bucket collision
+        if (store->discarded)
+            continue;
+        if (!store->active && store->fetchGroup != load.fetchGroup)
+            continue;
+        match = store;
+    }
+    return match;
+}
+
+bool
+Processor::loadMayProceed(const DynInst &load) const
+{
+    // The reference scan walks older stores youngest-first and acts on
+    // the first *event*: a matching known-address store (wait if its
+    // data is not ready, else forward and stop) or a blocking
+    // unknown-address store (policy-dependent). Reproduce that by
+    // finding each candidate event's seq and comparing.
+    const DynInst *match = youngestMatchingStoreBefore(load);
+
+    // Youngest older unknown-address store that blocks under the
+    // active disambiguation policy.
+    const DynInst *blocker = nullptr;
+    if (!unknownStores_.empty() &&
+        config_.disambiguation != Disambiguation::Speculative) {
+        for (auto it = std::lower_bound(unknownStores_.begin(),
+                                        unknownStores_.end(), load.seq);
+             it != unknownStores_.begin();) {
+            --it;
+            const DynInst *store = instFor(*it);
+            TCSIM_ASSERT(store != nullptr, "stale unknown-store entry");
+            if (store->discarded)
+                continue;
+            if (!store->active && store->fetchGroup != load.fetchGroup)
+                continue;
+            if (config_.disambiguation == Disambiguation::Perfect &&
+                (store->oracleMemAddr == kInvalidAddr ||
+                 store->oracleMemAddr != load.memAddr)) {
+                continue; // perfect model: known non-aliasing
+            }
+            blocker = store;
+            break;
+        }
+    } else if (!unknownStores_.empty()) {
+        // Speculative: bypass unknown stores entirely unless the load
+        // must stay conservative (inactive issue, or conflict
+        // history) — then any visible unknown store blocks.
+        if (!load.active || memDepPredictsConflict(load.pc)) {
+            for (auto it = std::lower_bound(unknownStores_.begin(),
+                                            unknownStores_.end(), load.seq);
+                 it != unknownStores_.begin();) {
+                --it;
+                const DynInst *store = instFor(*it);
+                TCSIM_ASSERT(store != nullptr, "stale unknown-store entry");
+                if (store->discarded)
+                    continue;
+                if (!store->active && store->fetchGroup != load.fetchGroup)
+                    continue;
+                blocker = store;
+                break;
+            }
+        }
+    }
+
+    if (blocker != nullptr &&
+        (match == nullptr || blocker->seq > match->seq)) {
+        return false; // the blocking unknown store is the first event
+    }
+    if (match != nullptr && !match->executed)
+        return false; // matching store, data not yet ready
+    return true;
+}
+
+// ----------------------------------------------------------------------
+// Reference implementations: the original O(window) scans, kept as
+// ground truth. TCSIM_VERIFY_WINDOW_INDEX=1 runs them beside every
+// indexed lookup and asserts agreement.
+// ----------------------------------------------------------------------
+
+const DynInst *
+Processor::slowOldestViolatingLoadAfter(const DynInst &store) const
+{
+    const DynInst *violator = nullptr;
+    for (auto it = robOrder_.rbegin(); it != robOrder_.rend(); ++it) {
+        if (*it <= store.seq)
+            break;
+        const DynInst *cand = instFor(*it);
+        if (cand == nullptr || cand->discarded)
+            continue;
+        if (!cand->active && cand->fetchGroup != store.fetchGroup)
+            continue;
+        if (cand->isLoad() && cand->fired &&
+            cand->memAddr == store.memAddr) {
+            violator = cand; // keep scanning: want the oldest violator
+        }
+    }
+    return violator;
+}
+
+InstSeqNum
+Processor::slowKeepSeqBefore(InstSeqNum seq) const
+{
+    for (auto it = robOrder_.rbegin(); it != robOrder_.rend(); ++it) {
+        if (*it < seq)
+            return *it;
+    }
+    return 0;
+}
+
+bool
+Processor::slowLoadDisambiguation(const DynInst &load) const
+{
+    for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend(); ++it) {
+        if (*it >= load.seq)
+            continue;
+        const DynInst *store = instFor(*it);
+        if (store == nullptr || store->discarded)
+            continue;
+        if (!store->active && store->fetchGroup != load.fetchGroup)
+            continue;
+        if (store->memAddrKnown) {
+            if (store->memAddr == load.memAddr && !store->executed)
+                return false;
+            if (store->memAddr == load.memAddr)
+                break;
+            continue;
+        }
+        if (config_.disambiguation == Disambiguation::Conservative)
+            return false;
+        if (config_.disambiguation == Disambiguation::Speculative) {
+            if (!load.active || memDepPredictsConflict(load.pc))
+                return false;
+            continue;
+        }
+        if (store->oracleMemAddr != kInvalidAddr &&
+            store->oracleMemAddr == load.memAddr) {
+            return false;
+        }
+    }
+    return true;
+}
+
+const DynInst *
+Processor::slowForwardingStore(const DynInst &load) const
+{
+    for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend(); ++it) {
+        if (*it >= load.seq)
+            continue;
+        const DynInst *store = instFor(*it);
+        if (store == nullptr || store->discarded)
+            continue;
+        if (!store->active && store->fetchGroup != load.fetchGroup)
+            continue;
+        if (store->memAddrKnown && store->memAddr == load.memAddr)
+            return store;
+    }
+    return nullptr;
+}
+
+const DynInst *
+Processor::slowPreviousCheckpointFor(const DynInst &inst) const
+{
+    for (auto it = robOrder_.rbegin(); it != robOrder_.rend(); ++it) {
+        if (*it >= inst.seq)
+            continue;
+        const DynInst *cand = instFor(*it);
+        if (cand == nullptr || !cand->active || cand->discarded)
+            continue;
+        if (cand->endsBlock || cand->fetchGroup != inst.fetchGroup)
+            return cand;
+    }
+    return nullptr;
+}
+
+const DynInst *
+Processor::previousCheckpointFor(const DynInst &inst) const
+{
+    // The previous checkpoint is the youngest older instruction that
+    // either ends a block or belongs to an older fetch group. Two
+    // indexed candidates cover both cases:
+    //  - s: the youngest checkpoint-stack entry below inst.seq (an
+    //    active block-ending branch; stack entries are never
+    //    discarded because discard only targets inactive suffixes);
+    //  - c: the youngest active non-discarded instruction below the
+    //    faulting fetch group's first seq (groups dispatch
+    //    atomically, so seq < groupStartSeq <=> older group).
+    // Any in-group candidate from the reference scan must end a block
+    // (same group => the endsBlock clause), so it is on the stack; any
+    // older-group candidate is bounded above by c. The reference scan
+    // returns the youngest of all candidates = max(s, c).
+    const DynInst *best = nullptr;
+    {
+        const auto it = std::lower_bound(checkpointStack_.begin(),
+                                         checkpointStack_.end(), inst.seq);
+        if (it != checkpointStack_.begin()) {
+            best = instFor(*std::prev(it));
+            TCSIM_ASSERT(best != nullptr, "stale checkpoint-stack entry");
+        }
+    }
+    TCSIM_ASSERT(inst.groupStartSeq != kInvalidSeqNum);
+    for (auto it = robLowerBound(inst.groupStartSeq);
+         it != robOrder_.begin();) {
+        --it;
+        if (best != nullptr && *it <= best->seq)
+            break; // the stack candidate is younger
+        const DynInst *cand = instFor(*it);
+        TCSIM_ASSERT(cand != nullptr);
+        if (cand->active && !cand->discarded) {
+            best = cand;
+            break;
+        }
+    }
+    return best;
 }
 
 // ----------------------------------------------------------------------
@@ -364,6 +695,7 @@ Processor::dispatchStage()
 
     Rat shadow;
     bool shadow_active = false;
+    const InstSeqNum group_start = nextSeq_;
 
     for (std::size_t i = 0; i < batch_size; ++i) {
         const fetch::FetchedInst &fi = pb.batch.insts[i];
@@ -371,6 +703,7 @@ Processor::dispatchStage()
         di.inst = fi.inst;
         di.pc = fi.pc;
         di.fetchGroup = pb.group;
+        di.groupStartSeq = group_start;
         di.fetchCycle = pb.fetchCycle;
         di.source = pb.batch.source;
         di.active = fi.active;
@@ -433,10 +766,15 @@ Processor::dispatchStage()
         // Resources.
         const bool allocated = nodeTables_.allocate(di.rsTable);
         TCSIM_ASSERT(allocated, "node table allocation must succeed");
-        if (di.isStore())
+        if (di.isStore()) {
             storeQueue_.push_back(di.seq);
-        if (di.endsBlock)
+            unknownStores_.push_back(di.seq); // dispatch order: sorted
+        }
+        if (di.endsBlock) {
             ++outstandingCheckpoints_;
+            if (di.active)
+                checkpointStack_.push_back(di.seq);
+        }
 
         di.readyCycle = cycle_ + 1;
         if (operandsReady(di))
@@ -486,24 +824,21 @@ RegVal
 Processor::loadValueFor(DynInst &load, bool &forwarded)
 {
     forwarded = false;
-    // Walk older visible stores youngest-first.
-    for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend(); ++it) {
-        if (*it >= load.seq)
-            continue;
-        DynInst *store = instFor(*it);
-        if (store == nullptr || store->discarded)
-            continue;
-        if (!store->active && store->fetchGroup != load.fetchGroup)
-            continue;
-        if (store->memAddrKnown && store->memAddr == load.memAddr &&
-            store->executed) {
-            forwarded = true;
-            return store->storeData;
-        }
-        if (store->memAddrKnown && store->memAddr == load.memAddr) {
+    // The youngest older visible matching store forwards its data.
+    const DynInst *store = youngestMatchingStoreBefore(load);
+    if (verifyIndexed_) {
+        TCSIM_ASSERT(store == slowForwardingStore(load),
+                     "indexed forwarding diverges from reference scan "
+                     "(load seq %llu)",
+                     static_cast<unsigned long long>(load.seq));
+    }
+    if (store != nullptr) {
+        if (!store->executed) {
             // Matching but data not ready: caller must not be here.
             panic("loadValueFor called while blocked");
         }
+        forwarded = true;
+        return store->storeData;
     }
     return memory_.load(load.memAddr);
 }
@@ -517,6 +852,11 @@ Processor::tryScheduleMemory(DynInst &inst)
         inst.memAddrKnown = true;
         inst.storeData = inst.srcVal[1];
         inst.completeCycle = cycle_ + config_.latAddrGen;
+        // Address resolution: move the store from the unknown list
+        // into the address index (runs once: the store fires after
+        // this and never re-disambiguates).
+        unknownStoreResolved(inst.seq);
+        addrIndexInsert(storeAddrIndex_, inst.memAddr, inst.seq);
         if (config_.disambiguation == Disambiguation::Speculative)
             checkStoreOrderViolation(inst);
         return true;
@@ -526,44 +866,21 @@ Processor::tryScheduleMemory(DynInst &inst)
     inst.memAddr =
         FunctionalExecutor::effectiveAddr(inst.inst, inst.srcVal[0]);
 
-    // Disambiguate against older visible stores.
-    for (auto it = storeQueue_.rbegin(); it != storeQueue_.rend(); ++it) {
-        if (*it >= inst.seq)
-            continue;
-        DynInst *store = instFor(*it);
-        if (store == nullptr || store->discarded)
-            continue;
-        if (!store->active && store->fetchGroup != inst.fetchGroup)
-            continue;
-
-        if (store->memAddrKnown) {
-            if (store->memAddr == inst.memAddr && !store->executed)
-                return false; // matching store, data not yet ready
-            if (store->memAddr == inst.memAddr)
-                break; // youngest matching store found, data ready
-            continue;  // known non-matching: bypass
-        }
-
-        // Unknown store address.
-        if (config_.disambiguation == Disambiguation::Conservative)
-            return false;
-        if (config_.disambiguation == Disambiguation::Speculative) {
-            // Memory dependence speculation: bypass unless this load
-            // has a conflict history. Inactively issued loads stay
-            // conservative: a salvaged stale value would bypass the
-            // violation check.
-            if (!inst.active || memDepPredictsConflict(inst.pc))
-                return false;
-            continue;
-        }
-        // Perfect disambiguation: the scheduler "knows" the eventual
-        // address (the oracle's, when available; wrong-path stores are
-        // assumed non-aliasing).
-        if (store->oracleMemAddr != kInvalidAddr &&
-            store->oracleMemAddr == inst.memAddr) {
-            return false; // true dependence: wait for the store
-        }
+    // Disambiguate against older visible stores. (Policy notes:
+    // Conservative waits on any unknown-address store; Speculative
+    // bypasses them unless the load is inactively issued — a salvaged
+    // stale value would bypass the violation check — or has a
+    // conflict history; Perfect "knows" the eventual addresses and
+    // waits only on true dependences.)
+    const bool proceed = loadMayProceed(inst);
+    if (verifyIndexed_) {
+        TCSIM_ASSERT(proceed == slowLoadDisambiguation(inst),
+                     "indexed disambiguation diverges from reference "
+                     "scan (load seq %llu)",
+                     static_cast<unsigned long long>(inst.seq));
     }
+    if (!proceed)
+        return false;
 
     bool forwarded = false;
     const RegVal value = loadValueFor(inst, forwarded);
@@ -630,6 +947,10 @@ Processor::scheduleStage()
             }
 
             di->fired = true;
+            if (di->isLoad()) {
+                // Fired loads enter the violation-check index.
+                addrIndexInsert(loadAddrIndex_, di->memAddr, di->seq);
+            }
             di->inReadyQueue = false;
             nodeTables_.release(di->rsTable);
             completionHeap_.emplace_back(di->completeCycle, di->seq);
@@ -700,21 +1021,13 @@ Processor::resolveControl(DynInst &inst)
                 // failing that the boundary of the faulting fetch
                 // group (the machine checkpoints each fetch block it
                 // supplies, so a group boundary is always one).
-                const DynInst *checkpoint = nullptr;
-                for (auto it = robOrder_.rbegin();
-                     it != robOrder_.rend(); ++it) {
-                    if (*it >= inst.seq)
-                        continue;
-                    const DynInst *cand = instFor(*it);
-                    if (cand == nullptr || !cand->active ||
-                        cand->discarded) {
-                        continue;
-                    }
-                    if (cand->endsBlock ||
-                        cand->fetchGroup != inst.fetchGroup) {
-                        checkpoint = cand;
-                        break;
-                    }
+                const DynInst *checkpoint = previousCheckpointFor(inst);
+                if (verifyIndexed_) {
+                    TCSIM_ASSERT(
+                        checkpoint == slowPreviousCheckpointFor(inst),
+                        "checkpoint stack diverges from reference scan "
+                        "(fault seq %llu)",
+                        static_cast<unsigned long long>(inst.seq));
                 }
                 if (checkpoint != nullptr) {
                     req.keepSeq = checkpoint->seq;
@@ -737,10 +1050,9 @@ Processor::resolveControl(DynInst &inst)
                 // The replay refetches any earlier dynamic instances
                 // of this PC; the override must pass over them and hit
                 // exactly the faulting instance.
-                for (const InstSeqNum other : robOrder_) {
-                    if (other <= req.keepSeq || other >= inst.seq)
-                        continue;
-                    const DynInst *prior = instFor(other);
+                for (auto it = robLowerBound(req.keepSeq + 1);
+                     it != robOrder_.end() && *it < inst.seq; ++it) {
+                    const DynInst *prior = instFor(*it);
                     if (prior != nullptr && prior->pc == inst.pc &&
                         prior->isCondBranch() && prior->active &&
                         !prior->discarded) {
@@ -752,10 +1064,8 @@ Processor::resolveControl(DynInst &inst)
                 // An override flipped this promoted branch off the
                 // segment's embedded path and the flip was right: the
                 // inactively issued suffix loses.
-                for (auto it = robOrder_.begin(); it != robOrder_.end();
-                     ++it) {
-                    if (*it <= inst.seq)
-                        continue;
+                for (auto it = robLowerBound(inst.seq + 1);
+                     it != robOrder_.end(); ++it) {
                     DynInst *cand = instFor(*it);
                     if (cand == nullptr)
                         continue;
@@ -790,10 +1100,8 @@ Processor::resolveControl(DynInst &inst)
             // suffix of this fetch group is already in the window.
             InstSeqNum last_suffix = kInvalidSeqNum;
             if (inst.endsBlock && inst.taken == inst.embeddedTaken) {
-                for (auto it = robOrder_.begin(); it != robOrder_.end();
-                     ++it) {
-                    if (*it <= inst.seq)
-                        continue;
+                for (auto it = robLowerBound(inst.seq + 1);
+                     it != robOrder_.end(); ++it) {
                     const DynInst *cand = instFor(*it);
                     if (cand == nullptr)
                         continue;
@@ -819,10 +1127,8 @@ Processor::resolveControl(DynInst &inst)
                    inst.followedDir != inst.embeddedTaken) {
             // Correct prediction that diverged from the segment: the
             // inactively issued suffix loses and is discarded.
-            for (auto it = robOrder_.begin(); it != robOrder_.end();
-                 ++it) {
-                if (*it <= inst.seq)
-                    continue;
+            for (auto it = robLowerBound(inst.seq + 1);
+                 it != robOrder_.end(); ++it) {
                 DynInst *cand = instFor(*it);
                 if (cand == nullptr)
                     continue;
@@ -902,10 +1208,22 @@ Processor::squashYoungerThan(InstSeqNum keep_seq)
             TCSIM_ASSERT(outstandingCheckpoints_ > 0);
             --outstandingCheckpoints_;
         }
+        // Unindex before invalidating the seq (unknown stores are
+        // bulk-trimmed below, like storeQueue_).
+        if (di->isStore()) {
+            if (di->memAddrKnown)
+                addrIndexRemove(storeAddrIndex_, di->memAddr, seq);
+        } else if (di->isLoad() && di->fired) {
+            addrIndexRemove(loadAddrIndex_, di->memAddr, seq);
+        }
         di->seq = kInvalidSeqNum; // invalidate stale references
     }
     while (!storeQueue_.empty() && storeQueue_.back() > keep_seq)
         storeQueue_.pop_back();
+    while (!unknownStores_.empty() && unknownStores_.back() > keep_seq)
+        unknownStores_.pop_back();
+    while (!checkpointStack_.empty() && checkpointStack_.back() > keep_seq)
+        checkpointStack_.pop_back();
 }
 
 Addr
@@ -916,8 +1234,10 @@ Processor::rebuildSpeculativeState(const DynInst *tail)
         rat_[r] = RatEntry{true, archRegs_[r], kInvalidSeqNum};
 
     std::uint64_t history = archHistory_;
-    std::vector<Addr> ras = archRas_;
+    std::vector<Addr> &ras = rasScratch_;
+    ras.assign(archRas_.begin(), archRas_.end());
     Addr salvage_redirect = kInvalidAddr;
+    bool saw_serializer = false;
 
     for (const InstSeqNum seq : robOrder_) {
         DynInst *di = instFor(seq);
@@ -927,6 +1247,8 @@ Processor::rebuildSpeculativeState(const DynInst *tail)
 
         if (isa::writesReg(di->inst))
             rat_[di->inst.rd] = RatEntry{false, 0, di->seq};
+        if (isa::isSerializing(di->inst.op))
+            saw_serializer = true;
 
         const Opcode op = di->inst.op;
         if (isa::isCondBranch(op)) {
@@ -963,7 +1285,12 @@ Processor::rebuildSpeculativeState(const DynInst *tail)
     }
 
     frontEnd_.history.restore(history);
-    frontEnd_.ras.assign(std::move(ras));
+    // Swap buffers: the front end's old stack becomes next recovery's
+    // scratch, so steady-state rebuilds never allocate.
+    frontEnd_.ras.assignSwap(ras);
+    // Serialization: a surviving in-flight trap keeps fetch stalled.
+    // (Folded into this walk — the recovery path is the only caller.)
+    serializeStall_ = saw_serializer;
     return salvage_redirect;
 }
 
@@ -988,12 +1315,18 @@ Processor::applyRecovery()
     // Salvage: activate the surviving inactive suffix.
     DynInst *tail = nullptr;
     if (req.salvage) {
-        for (const InstSeqNum seq : robOrder_) {
-            if (seq <= req.salvageFrom)
-                continue;
-            DynInst *di = instFor(seq);
+        for (auto it = robLowerBound(req.salvageFrom + 1);
+             it != robOrder_.end(); ++it) {
+            DynInst *di = instFor(*it);
             TCSIM_ASSERT(di != nullptr);
-            di->active = true;
+            if (!di->active) {
+                di->active = true;
+                // Newly activated block-ending branches become
+                // checkpoints. The squash above already trimmed the
+                // stack past keepSeq, so pushes stay sorted.
+                if (di->endsBlock)
+                    checkpointStack_.push_back(di->seq);
+            }
         }
         tail = instFor(req.keepSeq);
         TCSIM_ASSERT(tail != nullptr, "salvage tail vanished");
@@ -1014,17 +1347,6 @@ Processor::applyRecovery()
 
     fetchPc_ = redirect;
     icacheStallUntil_ = 0;
-
-    // Serialization: a surviving in-flight trap keeps fetch stalled.
-    serializeStall_ = false;
-    for (const InstSeqNum seq : robOrder_) {
-        const DynInst *di = instFor(seq);
-        if (di != nullptr && !di->discarded && di->active &&
-            isa::isSerializing(di->inst.op)) {
-            serializeStall_ = true;
-            break;
-        }
-    }
 
     // Oracle resynchronization. The resync anchor is the youngest
     // surviving instruction on the followed path: the keep instruction
@@ -1067,10 +1389,9 @@ Processor::applyRecovery()
     // Salvaged instructions that already executed may themselves have
     // resolved against the machine's new path; re-run their checks.
     if (req.salvage) {
-        for (const InstSeqNum seq : robOrder_) {
-            if (seq <= req.salvageFrom)
-                continue;
-            DynInst *di = instFor(seq);
+        for (auto it = robLowerBound(req.salvageFrom + 1);
+             it != robOrder_.end(); ++it) {
+            DynInst *di = instFor(*it);
             if (di != nullptr && di->executed &&
                 isa::isControl(di->inst.op)) {
                 resolveControl(*di);
@@ -1090,18 +1411,26 @@ Processor::retireOne(DynInst &inst)
         if (inst.endsBlock) {
             TCSIM_ASSERT(outstandingCheckpoints_ > 0);
             --outstandingCheckpoints_;
+            // Discarded implies never activated: not on the stack.
         }
         if (inst.isStore()) {
             TCSIM_ASSERT(!storeQueue_.empty() &&
                          storeQueue_.front() == inst.seq);
-            storeQueue_.erase(storeQueue_.begin());
+            storeQueue_.pop_front();
+            // Retiring implies executed implies address-resolved.
+            TCSIM_ASSERT(inst.memAddrKnown);
+            addrIndexRemove(storeAddrIndex_, inst.memAddr, inst.seq);
+        } else if (inst.isLoad() && inst.fired) {
+            addrIndexRemove(loadAddrIndex_, inst.memAddr, inst.seq);
         }
         return;
     }
 
     // The retired stream must equal the functional oracle's stream.
-    const workload::StepResult &golden = oracleAt(oracleRetireIdx_);
-    if (golden.pc != inst.pc && std::getenv("TCSIM_DEBUG_RETIRE")) {
+    // (Pointer, not reference: the debug dump below can extend — and
+    // so reallocate — the oracle ring.)
+    const workload::StepResult *golden = &oracleAt(oracleRetireIdx_);
+    if (golden->pc != inst.pc && std::getenv("TCSIM_DEBUG_RETIRE")) {
         for (std::uint64_t i = oracleRetireIdx_ >= 3 ? oracleRetireIdx_-3 : 0;
              i <= oracleRetireIdx_ + 3; ++i) {
             if (i < oracleBase_) continue;
@@ -1113,7 +1442,7 @@ Processor::retireOne(DynInst &inst)
         }
         std::fprintf(stderr, "divergence at retire idx %llu: got %llx want %llx seq=%llu op=%s group=%llu active=%d\n",
             (unsigned long long)oracleRetireIdx_, (unsigned long long)inst.pc,
-            (unsigned long long)golden.pc, (unsigned long long)inst.seq,
+            (unsigned long long)golden->pc, (unsigned long long)inst.seq,
             isa::opcodeName(inst.inst.op), (unsigned long long)inst.fetchGroup, (int)inst.active);
         for (auto &d : debugRetireLog_) {
             const auto meta = std::get<3>(d);
@@ -1127,27 +1456,28 @@ Processor::retireOne(DynInst &inst)
             std::fprintf(stderr, "  recovery cyc=%llu keep=%llu redirect=%llx cause=%d salvage=%d\n",
                 (unsigned long long)std::get<0>(r), (unsigned long long)std::get<1>(r),
                 (unsigned long long)std::get<2>(r), std::get<3>(r), std::get<4>(r));
+        golden = &oracleAt(oracleRetireIdx_); // ring may have grown
     }
-    TCSIM_ASSERT(golden.pc == inst.pc,
+    TCSIM_ASSERT(golden->pc == inst.pc,
                  "retired pc 0x%llx diverges from oracle pc 0x%llx "
                  "at retire index %llu",
                  static_cast<unsigned long long>(inst.pc),
-                 static_cast<unsigned long long>(golden.pc),
+                 static_cast<unsigned long long>(golden->pc),
                  static_cast<unsigned long long>(oracleRetireIdx_));
-    TCSIM_ASSERT(!isa::writesReg(inst.inst) || golden.result == inst.result,
+    TCSIM_ASSERT(!isa::writesReg(inst.inst) || golden->result == inst.result,
                  "retired value %llx diverges from oracle %llx at pc %llx "
                  "op=%s seq=%llu idx=%llu",
                  static_cast<unsigned long long>(inst.result),
-                 static_cast<unsigned long long>(golden.result),
+                 static_cast<unsigned long long>(golden->result),
                  static_cast<unsigned long long>(inst.pc),
                  isa::opcodeName(inst.inst.op),
                  static_cast<unsigned long long>(inst.seq),
                  static_cast<unsigned long long>(oracleRetireIdx_));
-    TCSIM_ASSERT(!isa::isMem(inst.inst.op) || golden.memAddr == inst.memAddr,
+    TCSIM_ASSERT(!isa::isMem(inst.inst.op) || golden->memAddr == inst.memAddr,
                  "retired mem addr diverges at pc %llx",
                  static_cast<unsigned long long>(inst.pc));
     TCSIM_ASSERT(!isa::isCondBranch(inst.inst.op) ||
-                     golden.taken == inst.taken,
+                     golden->taken == inst.taken,
                  "retired branch direction diverges at pc %llx seq %llu",
                  static_cast<unsigned long long>(inst.pc),
                  static_cast<unsigned long long>(inst.seq));
@@ -1168,10 +1498,13 @@ Processor::retireOne(DynInst &inst)
     }
     ++oracleRetireIdx_;
     // Retired entries are dead: fetch never looks below the retire
-    // boundary (recoveries resynchronize at or above it).
-    while (oracleBase_ < oracleRetireIdx_ && !oracleBuf_.empty()) {
-        oracleBuf_.pop_front();
-        ++oracleBase_;
+    // boundary (recoveries resynchronize at or above it). Ring slots
+    // are reclaimed by arithmetic; no per-entry work.
+    if (oracleRetireIdx_ > oracleBase_) {
+        const std::uint64_t dead =
+            std::min(oracleRetireIdx_ - oracleBase_, oracleCount_);
+        oracleBase_ += dead;
+        oracleCount_ -= dead;
     }
 
     const Opcode op = inst.inst.op;
@@ -1190,7 +1523,11 @@ Processor::retireOne(DynInst &inst)
         hierarchy_.dcache().access(inst.memAddr, true);
         TCSIM_ASSERT(!storeQueue_.empty() &&
                      storeQueue_.front() == inst.seq);
-        storeQueue_.erase(storeQueue_.begin());
+        storeQueue_.pop_front();
+        TCSIM_ASSERT(inst.memAddrKnown);
+        addrIndexRemove(storeAddrIndex_, inst.memAddr, inst.seq);
+    } else if (inst.isLoad() && inst.fired) {
+        addrIndexRemove(loadAddrIndex_, inst.memAddr, inst.seq);
     }
 
     // Speculative-structure training and architectural mirrors.
@@ -1242,6 +1579,12 @@ Processor::retireOne(DynInst &inst)
     if (inst.endsBlock) {
         TCSIM_ASSERT(outstandingCheckpoints_ > 0);
         --outstandingCheckpoints_;
+        // A retiring non-discarded instruction is active, so this
+        // branch is the oldest checkpoint-stack entry.
+        TCSIM_ASSERT(!checkpointStack_.empty() &&
+                     checkpointStack_.front() == inst.seq,
+                     "checkpoint stack out of sync at retire");
+        checkpointStack_.pop_front();
     }
 
     // Feed the fill unit from the retired stream.

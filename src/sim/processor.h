@@ -142,6 +142,7 @@ class Processor
 
     void extendOracle(std::uint64_t upto_idx);
     const workload::StepResult &oracleAt(std::uint64_t idx);
+    void growOracleRing();
 
     // ------------------------------------------------------------------
     // Pipeline stages (called youngest-last each cycle).
@@ -173,6 +174,41 @@ class Processor
     RegVal loadValueFor(core::DynInst &load, bool &forwarded);
 
     // ------------------------------------------------------------------
+    // Window-indexed lookups. The hot per-event scans (store-order
+    // violation, load forwarding/disambiguation, promoted-fault
+    // checkpoint selection) are answered from incrementally maintained
+    // indexes in O(1)/O(log n) instead of walking robOrder_ or
+    // storeQueue_. The original reference scans are kept as slow*
+    // twins; TCSIM_VERIFY_WINDOW_INDEX=1 cross-checks every event.
+    // ------------------------------------------------------------------
+    /** First robOrder_ position with seq >= @p seq (robOrder_ is
+     * sorted ascending but not contiguous — squashes leave gaps). */
+    std::deque<InstSeqNum>::const_iterator
+    robLowerBound(InstSeqNum seq) const;
+    static std::uint32_t addrBucket(Addr addr);
+    static void addrIndexInsert(std::vector<std::vector<InstSeqNum>> &index,
+                                Addr addr, InstSeqNum seq);
+    static void addrIndexRemove(std::vector<std::vector<InstSeqNum>> &index,
+                                Addr addr, InstSeqNum seq);
+    void unknownStoreResolved(InstSeqNum seq);
+    const core::DynInst *
+    youngestMatchingStoreBefore(const core::DynInst &load) const;
+    bool loadMayProceed(const core::DynInst &load) const;
+    const core::DynInst *
+    oldestViolatingLoadAfter(const core::DynInst &store) const;
+    const core::DynInst *
+    previousCheckpointFor(const core::DynInst &inst) const;
+    // Reference implementations (pre-index scans, verify mode only).
+    bool slowLoadDisambiguation(const core::DynInst &load) const;
+    const core::DynInst *
+    slowForwardingStore(const core::DynInst &load) const;
+    const core::DynInst *
+    slowOldestViolatingLoadAfter(const core::DynInst &store) const;
+    const core::DynInst *
+    slowPreviousCheckpointFor(const core::DynInst &inst) const;
+    InstSeqNum slowKeepSeqBefore(InstSeqNum seq) const;
+
+    // ------------------------------------------------------------------
     // Configuration and substrate.
     // ------------------------------------------------------------------
     ProcessorConfig config_;
@@ -189,8 +225,13 @@ class Processor
     // Oracle state.
     // ------------------------------------------------------------------
     std::unique_ptr<workload::FunctionalExecutor> oracle_;
-    std::deque<workload::StepResult> oracleBuf_;
-    std::uint64_t oracleBase_ = 0;   ///< index of oracleBuf_[0]
+    /** Power-of-two ring of oracle steps: global index i lives at
+     * oracleRing_[i & (size-1)]. Live span is [oracleBase_,
+     * oracleBase_ + oracleCount_); trimming retired entries is pointer
+     * arithmetic, and steady state never allocates. */
+    std::vector<workload::StepResult> oracleRing_;
+    std::uint64_t oracleBase_ = 0;   ///< oldest live global index
+    std::uint64_t oracleCount_ = 0;  ///< live entries in the ring
     std::uint64_t oracleFetchIdx_ = 0;
     std::uint64_t oracleRetireIdx_ = 0;
     bool onTruePath_ = true;
@@ -203,6 +244,9 @@ class Processor
     std::array<RegVal, isa::kNumArchRegs> archRegs_{};
     std::vector<Addr> archRas_;
     std::uint64_t archHistory_ = 0;
+    /** Recovery-rebuild RAS scratch; swapped with the front end's
+     * stack each recovery so rebuilds reuse capacity. */
+    std::vector<Addr> rasScratch_;
 
     // ------------------------------------------------------------------
     // Rename state.
@@ -223,8 +267,32 @@ class Processor
     std::deque<InstSeqNum> robOrder_;
     InstSeqNum nextSeq_ = 1;
     core::NodeTables nodeTables_;
-    std::vector<InstSeqNum> storeQueue_; // sorted by seq
+    std::deque<InstSeqNum> storeQueue_; // sorted by seq
     std::uint32_t outstandingCheckpoints_ = 0;
+
+    /**
+     * Checkpoint stack: seqs of the *active* block-ending branches in
+     * flight, ascending. Pushed at dispatch (and at salvage
+     * activation), popped from the back on squash and from the front
+     * when the branch retires. Promoted-fault recovery and
+     * store-violation keepSeq selection read their targets from here
+     * instead of scanning robOrder_.
+     */
+    std::deque<InstSeqNum> checkpointStack_;
+
+    /** Hashed memAddr -> in-flight seqs indexes. Buckets keep their
+     * capacity across erases so steady state never allocates; entries
+     * are re-validated against the instruction's actual memAddr, so
+     * hash collisions only cost a skipped element. */
+    static constexpr std::uint32_t kAddrIndexBuckets = 1024;
+    std::vector<std::vector<InstSeqNum>> loadAddrIndex_;  // fired loads
+    std::vector<std::vector<InstSeqNum>> storeAddrIndex_; // addr-known stores
+    /** In-flight stores whose address is still unknown, sorted by seq
+     * (dispatch order). */
+    std::vector<InstSeqNum> unknownStores_;
+    /** TCSIM_VERIFY_WINDOW_INDEX=1: run the reference scans alongside
+     * every indexed lookup and assert agreement. */
+    bool verifyIndexed_ = false;
 
     /**
      * Memory dependence predictor (Speculative mode): 2-bit conflict
