@@ -10,6 +10,7 @@
 #include <mutex>
 
 #include "bench/thread_pool.h"
+#include "obs/profiler.h"
 
 namespace tcsim::bench
 {
@@ -57,6 +58,7 @@ struct RecordedRun
     double condMispredictRate;
     double wallSeconds;
     double simMips; ///< simulated instructions per wall microsecond
+    std::string profileJson; ///< obs::SelfProfiler JSON; empty if off
 };
 
 std::string
@@ -85,7 +87,8 @@ class ResultsRecorder
     }
 
     void
-    record(const sim::SimResult &result, double wall_seconds)
+    record(const sim::SimResult &result, double wall_seconds,
+           std::string profile_json = {})
     {
         std::lock_guard<std::mutex> lock(mutex_);
         const double sim_mips =
@@ -97,7 +100,8 @@ class ResultsRecorder
                                     result.instructions, result.cycles,
                                     result.ipc, result.effectiveFetchRate,
                                     result.condMispredictRate,
-                                    wall_seconds, sim_mips});
+                                    wall_seconds, sim_mips,
+                                    std::move(profile_json)});
         if (!atexitRegistered_) {
             atexitRegistered_ = true;
             std::atexit([] { ResultsRecorder::instance().write(); });
@@ -129,13 +133,17 @@ class ResultsRecorder
                 "\"instructions\":%llu,\"cycles\":%llu,\"ipc\":%.6f,"
                 "\"effective_fetch_rate\":%.6f,"
                 "\"cond_mispredict_rate\":%.6f,\"wall_seconds\":%.3f,"
-                "\"sim_mips\":%.3f}",
+                "\"sim_mips\":%.3f",
                 i == 0 ? "" : ",", jsonEscape(run.benchmark).c_str(),
                 jsonEscape(run.config).c_str(),
                 static_cast<unsigned long long>(run.instructions),
                 static_cast<unsigned long long>(run.cycles), run.ipc,
                 run.effectiveFetchRate, run.condMispredictRate,
                 run.wallSeconds, run.simMips);
+            if (!run.profileJson.empty())
+                std::fprintf(out, ",\"profile\":%s",
+                             run.profileJson.c_str());
+            std::fprintf(out, "}");
         }
         std::fprintf(out, "]}\n");
         std::fclose(out);
@@ -188,8 +196,23 @@ executeRequest(const RunRequest &request)
     }
     const std::uint64_t budget =
         request.maxInsts != 0 ? request.maxInsts : instBudget(profile);
+
+    std::unique_ptr<obs::SelfProfiler> profiler;
+    if (std::getenv("TCSIM_PROFILE") != nullptr) {
+        profiler = std::make_unique<obs::SelfProfiler>();
+        proc.attachProfiler(profiler.get());
+        profiler->beginRun();
+    }
+
     sim::SimResult result = proc.run(warmup + budget);
-    ResultsRecorder::instance().record(result, secondsSince(start));
+
+    std::string profile_json;
+    if (profiler != nullptr) {
+        profiler->endRun(proc.retiredInsts());
+        profiler->appendJson(profile_json);
+    }
+    ResultsRecorder::instance().record(result, secondsSince(start),
+                                       std::move(profile_json));
     return result;
 }
 

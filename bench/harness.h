@@ -19,6 +19,10 @@
  *    "<dir>/<exhibit>.json" or the explicit path respectively.
  *    `run_benches.sh --long` sets TCSIM_INSTS=1000000 for
  *    statistically meaningful sweeps.
+ *  - TCSIM_PROFILE: when set, every simulation attaches an
+ *    obs::SelfProfiler; the per-phase host-time breakdown and the
+ *    sim-MIPS timeline are embedded in each run's JSON record (under
+ *    "profile") when a results file is being written.
  *  - TCSIM_VERIFY_WINDOW_INDEX: when set, the simulator runs the
  *    original O(window) reference scans beside every indexed lookup
  *    (store-order violations, load forwarding/disambiguation,

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * BM_TraceOverhead: asserts that *disabled* trace points are free.
+ *
+ * Two builds of the same synthetic fetch-loop kernel run back to back:
+ * one plain, one carrying four TCSIM_TPOINT sites with a null Tracer
+ * (the macro's disabled path: a single predictable never-taken branch
+ * per site). The contract in DESIGN.md is that instrumented components
+ * cost < 1% when tracing is off; this binary measures the ratio with
+ * min-of-R timing and exits non-zero if the contract is violated.
+ *
+ * Not registered with ctest: timing assertions are too flaky for the
+ * tier-1 suite. CI runs it in the perf-smoke step instead.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/trace.h"
+
+namespace
+{
+
+using tcsim::obs::Tracer;
+
+/** Launder a pointer so the compiler cannot prove it null. */
+template <class T>
+T *
+opaque(T *pointer)
+{
+    asm volatile("" : "+r"(pointer));
+    return pointer;
+}
+
+/** Keep @p value alive without storing it. */
+void
+escape(std::uint64_t value)
+{
+    asm volatile("" : : "r"(value) : "memory");
+}
+
+/**
+ * A synthetic per-cycle simulator step: an LCG walk probing a small
+ * direct-mapped tag array kProbes times with a bias counter update,
+ * roughly the amount of work between two adjacent trace points in the
+ * real fetch loop (a trace-cache lookup touches tag compares, LRU
+ * state, and prediction bits before the next tpoint site).
+ */
+constexpr unsigned kTableSize = 1024;
+constexpr unsigned kProbes = 96;
+
+std::uint64_t
+kernelPlain(std::uint64_t iters, std::uint64_t seed, std::uint64_t *tags,
+            std::uint32_t *bias)
+{
+    std::uint64_t state = seed, hits = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        bool promoted = false;
+        unsigned last_set = 0;
+        for (unsigned p = 0; p < kProbes; ++p) {
+            state = state * 6364136223846793005ULL +
+                    1442695040888963407ULL;
+            const std::uint64_t pc = (state >> 17) & 0xffffffu;
+            const unsigned set = pc % kTableSize;
+            last_set = set;
+            if (tags[set] == pc >> 10) {
+                ++hits;
+            } else {
+                tags[set] = pc >> 10;
+            }
+            bias[set] += static_cast<std::uint32_t>(state & 1);
+            if (bias[set] > 64) {
+                bias[set] = 0;
+                promoted = true;
+            }
+        }
+        if (promoted)
+            hits += last_set & 1;
+    }
+    return hits;
+}
+
+std::uint64_t
+kernelTraced(std::uint64_t iters, std::uint64_t seed, std::uint64_t *tags,
+             std::uint32_t *bias, Tracer *tracer)
+{
+    std::uint64_t state = seed, hits = 0;
+    for (std::uint64_t i = 0; i < iters; ++i) {
+        bool promoted = false;
+        unsigned last_set = 0;
+        for (unsigned p = 0; p < kProbes; ++p) {
+            state = state * 6364136223846793005ULL +
+                    1442695040888963407ULL;
+            const std::uint64_t pc = (state >> 17) & 0xffffffu;
+            const unsigned set = pc % kTableSize;
+            last_set = set;
+            if (tags[set] == pc >> 10) {
+                ++hits;
+            } else {
+                tags[set] = pc >> 10;
+            }
+            bias[set] += static_cast<std::uint32_t>(state & 1);
+            if (bias[set] > 64) {
+                bias[set] = 0;
+                promoted = true;
+            }
+        }
+        TCSIM_TPOINT(tracer, TC, "lookup", "hits=%llu",
+                     static_cast<unsigned long long>(hits));
+        TCSIM_TPOINT(tracer, Fetch, "step", "i=%llu",
+                     static_cast<unsigned long long>(i));
+        TCSIM_TPOINT(tracer, Bpred, "resolve", "set=%u", last_set);
+        if (promoted) {
+            hits += last_set & 1;
+            TCSIM_TPOINT(tracer, Promote, "promote", "set=%u", last_set);
+        }
+    }
+    return hits;
+}
+
+double
+secondsOf(std::uint64_t (*plain)(std::uint64_t, std::uint64_t,
+                                 std::uint64_t *, std::uint32_t *),
+          std::uint64_t iters, std::uint64_t *tags, std::uint32_t *bias)
+{
+    const auto start = std::chrono::steady_clock::now();
+    escape(plain(iters, 12345, tags, bias));
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+double
+secondsOfTraced(std::uint64_t iters, std::uint64_t *tags,
+                std::uint32_t *bias, Tracer *tracer)
+{
+    const auto start = std::chrono::steady_clock::now();
+    escape(kernelTraced(iters, 12345, tags, bias, tracer));
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // --iters and --reps let CI trade runtime for stability.
+    std::uint64_t iters = 1'000'000;
+    unsigned reps = 9;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--iters" && i + 1 < argc)
+            iters = std::strtoull(argv[++i], nullptr, 10);
+        else if (arg == "--reps" && i + 1 < argc)
+            reps = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    }
+
+    static std::uint64_t tags[kTableSize];
+    static std::uint32_t bias[kTableSize];
+    Tracer *tracer = opaque(static_cast<Tracer *>(nullptr));
+
+    // Warm up both code paths, then interleave min-of-R measurements so
+    // frequency drift hits both kernels equally.
+    escape(kernelPlain(iters / 10, 1, tags, bias));
+    escape(kernelTraced(iters / 10, 1, tags, bias, tracer));
+
+    double plain_min = 1e30, traced_min = 1e30;
+    for (unsigned r = 0; r < reps; ++r) {
+        plain_min =
+            std::min(plain_min, secondsOf(kernelPlain, iters, tags, bias));
+        traced_min = std::min(traced_min,
+                              secondsOfTraced(iters, tags, bias, tracer));
+    }
+
+    const double overhead = 100.0 * (traced_min - plain_min) / plain_min;
+    std::printf("BM_TraceOverhead: %" PRIu64
+                " iters, min of %u reps\n"
+                "  plain   %.4f s  (%.2f ns/iter)\n"
+                "  traced  %.4f s  (%.2f ns/iter, 4 disabled tpoints)\n"
+                "  overhead %+.3f%%  (contract: < 1%%)\n",
+                iters, reps, plain_min, 1e9 * plain_min / iters, traced_min,
+                1e9 * traced_min / iters, overhead);
+    if (overhead >= 1.0) {
+        std::fprintf(stderr,
+                     "FAIL: disabled trace points cost %.3f%% (>= 1%%)\n",
+                     overhead);
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+}

@@ -42,6 +42,10 @@ BranchBiasTable::update(Addr pc, bool taken)
 
     if (entry.tag != tag) {
         // Miss: the displaced branch loses any promoted status.
+        if (entry.promoted) {
+            TCSIM_TPOINT(tracer_, Promote, "displace", "pc=0x%llx",
+                         static_cast<unsigned long long>(pc));
+        }
         entry.tag = tag;
         entry.lastOutcome = taken;
         entry.count = 1;
@@ -62,10 +66,14 @@ BranchBiasTable::update(Addr pc, bool taken)
         entry.promoted = true;
         entry.promotedDir = taken;
         ++promotions_;
+        TCSIM_TPOINT(tracer_, Promote, "promote", "pc=0x%llx dir=%d",
+                     static_cast<unsigned long long>(pc), taken ? 1 : 0);
     } else if (entry.promoted && taken != entry.promotedDir &&
                entry.count >= 2) {
         entry.promoted = false;
         ++demotions_;
+        TCSIM_TPOINT(tracer_, Promote, "demote", "pc=0x%llx dir=%d",
+                     static_cast<unsigned long long>(pc), taken ? 1 : 0);
     }
 }
 

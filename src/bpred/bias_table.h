@@ -22,6 +22,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace tcsim::bpred
 {
@@ -65,6 +66,9 @@ class BranchBiasTable
     std::uint64_t promotions() const { return promotions_; }
     std::uint64_t demotions() const { return demotions_; }
 
+    /** Attach a tracer for `promote` trace points (null disables). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     void
     dumpStats(StatDump &dump) const
     {
@@ -92,6 +96,7 @@ class BranchBiasTable
     std::vector<Entry> entries_;
     std::uint64_t promotions_ = 0;
     std::uint64_t demotions_ = 0;
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace tcsim::bpred

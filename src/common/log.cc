@@ -3,6 +3,9 @@
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <vector>
 
 namespace tcsim
 {
@@ -12,15 +15,67 @@ namespace
 
 LogLevel globalLevel = LogLevel::Warn;
 
+/**
+ * Guard shared by every line writer. Leaked on purpose (never
+ * destroyed) so logging from static destructors stays safe.
+ */
+std::mutex &
+lineGuard()
+{
+    static std::mutex *guard = new std::mutex;
+    return *guard;
+}
+
+/**
+ * Format the whole message (prefix + body + newline) into one buffer,
+ * then hand it to logLineAtomic() as a single write. Messages longer
+ * than the stack buffer fall back to a heap buffer rather than being
+ * truncated.
+ */
 void
 vreport(const char *prefix, const char *fmt, va_list args)
 {
-    std::fprintf(stderr, "%s", prefix);
-    std::vfprintf(stderr, fmt, args);
-    std::fprintf(stderr, "\n");
+    char stack[1024];
+    va_list probe;
+    va_copy(probe, args);
+    const int body = std::vsnprintf(nullptr, 0, fmt, probe);
+    va_end(probe);
+    if (body < 0)
+        return;
+    const std::size_t prefixLen = std::strlen(prefix);
+    const std::size_t total = prefixLen + static_cast<std::size_t>(body) + 1;
+    std::vector<char> heap;
+    char *buf = stack;
+    if (total + 1 > sizeof(stack)) {
+        heap.resize(total + 1);
+        buf = heap.data();
+    }
+    std::memcpy(buf, prefix, prefixLen);
+    std::vsnprintf(buf + prefixLen, static_cast<std::size_t>(body) + 1, fmt,
+                   args);
+    buf[total - 1] = '\n';
+    logLineAtomic(stderr, buf, total);
 }
 
 } // namespace
+
+void
+logLineAtomic(std::FILE *stream, const char *text, std::size_t len)
+{
+    const bool needsNewline = len == 0 || text[len - 1] != '\n';
+    std::lock_guard<std::mutex> lock(lineGuard());
+    if (len > 0)
+        std::fwrite(text, 1, len, stream);
+    if (needsNewline)
+        std::fputc('\n', stream);
+    std::fflush(stream);
+}
+
+void
+logLineAtomic(std::FILE *stream, const char *text)
+{
+    logLineAtomic(stream, text, std::strlen(text));
+}
 
 void
 setLogLevel(LogLevel level)

@@ -14,6 +14,7 @@
 #define TCSIM_COMMON_LOG_H
 
 #include <cstdarg>
+#include <cstdio>
 #include <string>
 
 namespace tcsim
@@ -41,6 +42,18 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /** Report normal operating status. */
 void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Write @p text to @p stream as one atomic unit under the global log
+ * guard, so lines from the TCSIM_JOBS thread-pool workers never
+ * interleave mid-line. @p text should already end in a newline; one is
+ * appended if missing. warn()/inform()/panic()/fatal() and the obs
+ * trace sinks all route through this guard.
+ */
+void logLineAtomic(std::FILE *stream, const char *text);
+
+/** logLineAtomic() for a pre-sized buffer (not NUL-terminated). */
+void logLineAtomic(std::FILE *stream, const char *text, std::size_t len);
 
 /** Implementation hook for TCSIM_ASSERT; panics with context. */
 [[noreturn]] void panicAssert(const char *condition, const char *file,

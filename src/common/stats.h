@@ -160,6 +160,14 @@ class StatDump
     /** @return true if @p name is present. */
     bool has(const std::string &name) const;
 
+    /** @return all entries in registration order (interval snapshots,
+     * serialization, whole-dump comparisons in tests). */
+    const std::vector<std::pair<std::string, double>> &
+    entries() const
+    {
+        return entries_;
+    }
+
   private:
     std::vector<std::pair<std::string, double>> entries_;
 };

@@ -237,6 +237,11 @@ FetchEngine::fetchFromSegment(Addr pc, const trace::TraceSegment &segment,
         next_pc = out.insts.back().followedNextPc;
     }
     out.nextFetchPc = next_pc;
+    TCSIM_TPOINT(tracer_, Fetch, "tc_supply",
+                 "pc=0x%llx active=%u total=%zu partial=%d next=0x%llx",
+                 static_cast<unsigned long long>(pc), out.activeCount,
+                 out.insts.size(), out.partialMatch ? 1 : 0,
+                 static_cast<unsigned long long>(out.nextFetchPc));
 }
 
 void
@@ -248,6 +253,9 @@ FetchEngine::fetchFromICache(Addr pc, FetchBatch &out)
     const std::uint32_t stall = icache_.access(pc, false);
     if (stall > 0) {
         out.icacheStall = stall;
+        TCSIM_TPOINT(tracer_, Fetch, "icache_stall",
+                     "pc=0x%llx cycles=%u",
+                     static_cast<unsigned long long>(pc), stall);
         return;
     }
 
@@ -329,6 +337,10 @@ FetchEngine::fetchFromICache(Addr pc, FetchBatch &out)
 
     if (!out.insts.empty())
         out.nextFetchPc = out.insts.back().followedNextPc;
+    TCSIM_TPOINT(tracer_, Fetch, "icache_supply",
+                 "pc=0x%llx n=%zu next=0x%llx",
+                 static_cast<unsigned long long>(pc), out.insts.size(),
+                 static_cast<unsigned long long>(out.nextFetchPc));
 }
 
 } // namespace tcsim::fetch

@@ -27,6 +27,7 @@
 #include "bpred/ras.h"
 #include "fetch/fetch_types.h"
 #include "memory/cache.h"
+#include "obs/trace.h"
 #include "trace/trace_cache.h"
 #include "workload/program.h"
 
@@ -113,6 +114,9 @@ class FetchEngine
      */
     void fetchCycle(Addr pc, FetchBatch &out);
 
+    /** Attach a tracer for `fetch` trace points (null disables). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
   private:
     void fetchFromSegment(Addr pc, const trace::TraceSegment &segment,
                           FetchBatch &out);
@@ -145,6 +149,8 @@ class FetchEngine
     /** Scratch for the path-associative probe; reused across fetches
      * so the per-cycle lookup never allocates. */
     std::vector<const trace::TraceSegment *> candidates_;
+
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace tcsim::fetch

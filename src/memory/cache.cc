@@ -41,6 +41,9 @@ Cache::access(Addr addr, bool write)
 
     // Miss: fetch from below, then allocate over the LRU victim.
     ++misses_;
+    TCSIM_TPOINT(tracer_, Mem, "miss", "%s addr=0x%llx write=%d",
+                 params_.name.c_str(),
+                 static_cast<unsigned long long>(addr), write ? 1 : 0);
     std::uint32_t below;
     if (next_ != nullptr)
         below = next_->access(addr, false);
@@ -57,8 +60,12 @@ Cache::access(Addr addr, bool write)
         if (line.lruStamp < victim->lruStamp)
             victim = &line;
     }
-    if (victim->valid && victim->dirty)
+    if (victim->valid && victim->dirty) {
         ++writebacks_;
+        TCSIM_TPOINT(tracer_, Mem, "writeback", "%s victim_tag=0x%llx",
+                     params_.name.c_str(),
+                     static_cast<unsigned long long>(victim->tag));
+    }
     victim->valid = true;
     victim->tag = tag;
     victim->dirty = write;

@@ -17,6 +17,7 @@
 #include "common/log.h"
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/trace.h"
 
 namespace tcsim::memory
 {
@@ -83,6 +84,11 @@ class Cache
 
     void resetStats();
 
+    /** Attach a tracer for `mem` trace points (null disables). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
+    const std::string &name() const { return params_.name; }
+
   private:
     struct Line
     {
@@ -109,6 +115,8 @@ class Cache
     std::uint64_t accesses_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t writebacks_ = 0;
+
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace tcsim::memory

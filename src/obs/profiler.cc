@@ -1,0 +1,125 @@
+#include "obs/profiler.h"
+
+#include <cstdio>
+
+#include "common/log.h"
+
+namespace tcsim::obs
+{
+
+namespace
+{
+
+constexpr const char *kPhaseNames[kNumPhases] = {
+    "fetch", "dispatch", "schedule", "complete", "retire", "fill",
+    "recovery",
+};
+
+} // namespace
+
+const char *
+phaseName(Phase phase)
+{
+    const auto idx = static_cast<unsigned>(phase);
+    TCSIM_ASSERT(idx < kNumPhases);
+    return kPhaseNames[idx];
+}
+
+SelfProfiler::SelfProfiler(std::uint64_t sample_insts)
+    : sampleInsts_(sample_insts), nextSampleInsts_(sample_insts)
+{
+    TCSIM_ASSERT(sample_insts > 0, "sample period must be positive");
+}
+
+void
+SelfProfiler::beginRun()
+{
+    for (auto &ns : phaseNs_)
+        ns = 0;
+    timeline_.clear();
+    nextSampleInsts_ = sampleInsts_;
+    runEndNs_ = 0;
+    runStartNs_ = nowNs();
+}
+
+void
+SelfProfiler::endRun(std::uint64_t retired_insts)
+{
+    runEndNs_ = nowNs();
+    if (timeline_.empty() || timeline_.back().insts < retired_insts)
+        takeSample(retired_insts);
+}
+
+void
+SelfProfiler::takeSample(std::uint64_t retired_insts)
+{
+    const double seconds =
+        static_cast<double>(nowNs() - runStartNs_) * 1e-9;
+    TimelinePoint point;
+    point.hostSeconds = seconds;
+    point.insts = retired_insts;
+    point.mips = seconds > 0.0
+                     ? static_cast<double>(retired_insts) / seconds * 1e-6
+                     : 0.0;
+    timeline_.push_back(point);
+    nextSampleInsts_ = (retired_insts / sampleInsts_ + 1) * sampleInsts_;
+}
+
+double
+SelfProfiler::phaseSeconds(Phase phase) const
+{
+    std::uint64_t ns = phaseNs_[static_cast<unsigned>(phase)];
+    if (phase == Phase::Retire) {
+        const std::uint64_t fill =
+            phaseNs_[static_cast<unsigned>(Phase::Fill)];
+        ns = ns > fill ? ns - fill : 0;
+    }
+    return static_cast<double>(ns) * 1e-9;
+}
+
+double
+SelfProfiler::totalSeconds() const
+{
+    const std::uint64_t end = runEndNs_ != 0 ? runEndNs_ : nowNs();
+    return end > runStartNs_
+               ? static_cast<double>(end - runStartNs_) * 1e-9
+               : 0.0;
+}
+
+double
+SelfProfiler::simMips(std::uint64_t retired_insts) const
+{
+    const double seconds = totalSeconds();
+    return seconds > 0.0
+               ? static_cast<double>(retired_insts) / seconds * 1e-6
+               : 0.0;
+}
+
+void
+SelfProfiler::appendJson(std::string &out) const
+{
+    char buf[96];
+    out += "{\"phases\":{";
+    for (unsigned i = 0; i < kNumPhases; ++i) {
+        std::snprintf(buf, sizeof(buf), "%s\"%s\":%.6f", i == 0 ? "" : ",",
+                      kPhaseNames[i],
+                      phaseSeconds(static_cast<Phase>(i)));
+        out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "},\"total_seconds\":%.6f",
+                  totalSeconds());
+    out += buf;
+    out += ",\"mips_timeline\":[";
+    for (std::size_t i = 0; i < timeline_.size(); ++i) {
+        const TimelinePoint &p = timeline_[i];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"host_seconds\":%.6f,\"insts\":%llu,"
+                      "\"mips\":%.4f}",
+                      i == 0 ? "" : ",", p.hostSeconds,
+                      static_cast<unsigned long long>(p.insts), p.mips);
+        out += buf;
+    }
+    out += "]}";
+}
+
+} // namespace tcsim::obs

@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Self-profiling: host-time accounting per pipeline phase plus a
+ * sim-MIPS timeline, for answering "where does wall-clock go" without
+ * an external profiler.
+ *
+ * Opt-in: the Processor holds a null SelfProfiler* by default and the
+ * hot loop pays one predictable branch per stage. When attached, each
+ * stage of step() is bracketed with steady_clock reads; the fill unit's
+ * time is accounted separately and subtracted from the retire phase at
+ * reporting time (it runs inside retireStage()).
+ */
+
+#ifndef TCSIM_OBS_PROFILER_H
+#define TCSIM_OBS_PROFILER_H
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tcsim::obs
+{
+
+/** Host-time buckets; Fill nests inside Retire (subtracted in reports). */
+enum class Phase : std::uint8_t {
+    Fetch = 0,
+    Dispatch,
+    Schedule,
+    Complete,
+    Retire,
+    Fill,
+    Recovery,
+    NumPhases,
+};
+
+inline constexpr unsigned kNumPhases =
+    static_cast<unsigned>(Phase::NumPhases);
+
+/** @return the report name for @p phase ("fetch", "dispatch", ...). */
+const char *phaseName(Phase phase);
+
+class SelfProfiler
+{
+  public:
+    /** One sim-MIPS timeline point. */
+    struct TimelinePoint {
+        double hostSeconds;  ///< host time since beginRun()
+        std::uint64_t insts; ///< retired instructions at the sample
+        double mips;         ///< mean sim MIPS over the whole run so far
+    };
+
+    /** @param sample_insts timeline sampling period in retired insts. */
+    explicit SelfProfiler(std::uint64_t sample_insts = 250000);
+
+    /** Reset accounting and start the run clock. */
+    void beginRun();
+
+    /** Stop the run clock (totalSeconds() freezes). */
+    void endRun(std::uint64_t retired_insts);
+
+    static std::uint64_t
+    nowNs()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    /** Charge [t0, now) to @p phase; @return now (chained bracketing). */
+    std::uint64_t
+    lap(Phase phase, std::uint64_t t0)
+    {
+        const std::uint64_t now = nowNs();
+        phaseNs_[static_cast<unsigned>(phase)] += now - t0;
+        return now;
+    }
+
+    void
+    addPhase(Phase phase, std::uint64_t ns)
+    {
+        phaseNs_[static_cast<unsigned>(phase)] += ns;
+    }
+
+    /** Append a timeline point if @p retired_insts crossed the period. */
+    void
+    maybeSample(std::uint64_t retired_insts)
+    {
+        if (retired_insts >= nextSampleInsts_)
+            takeSample(retired_insts);
+    }
+
+    /**
+     * Host seconds charged to @p phase. Retire excludes the nested
+     * Fill time; every other phase reports its raw bucket.
+     */
+    double phaseSeconds(Phase phase) const;
+
+    /** Host seconds between beginRun() and endRun(). */
+    double totalSeconds() const;
+
+    /** Mean simulated MIPS over the whole run. */
+    double simMips(std::uint64_t retired_insts) const;
+
+    const std::vector<TimelinePoint> &timeline() const { return timeline_; }
+
+    /**
+     * Append this profile as a JSON object value (no trailing newline):
+     * {"phases":{"fetch":s,...},"total_seconds":s,"mips_timeline":[...]}
+     */
+    void appendJson(std::string &out) const;
+
+  private:
+    void takeSample(std::uint64_t retired_insts);
+
+    std::uint64_t sampleInsts_;
+    std::uint64_t nextSampleInsts_;
+    std::uint64_t phaseNs_[kNumPhases] = {};
+    std::uint64_t runStartNs_ = 0;
+    std::uint64_t runEndNs_ = 0;
+    std::vector<TimelinePoint> timeline_;
+};
+
+} // namespace tcsim::obs
+
+#endif // TCSIM_OBS_PROFILER_H

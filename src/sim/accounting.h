@@ -92,6 +92,7 @@ class Accounting
     }
 
     std::uint64_t usefulFetches() const { return usefulFetches_; }
+    std::uint64_t fetchedInsts() const { return fetchedInsts_; }
 
     /** Zero all counters (measurement-window methodology). */
     void

@@ -104,6 +104,11 @@ Processor::checkStoreOrderViolation(core::DynInst &store)
         return;
 
     recordMemDepViolation(violator->pc);
+    TCSIM_TPOINT(tracer_, Core, "violation",
+                 "store_pc=0x%llx addr=0x%llx load_pc=0x%llx",
+                 static_cast<unsigned long long>(store.pc),
+                 static_cast<unsigned long long>(store.memAddr),
+                 static_cast<unsigned long long>(violator->pc));
     static const bool debug_retire =
         std::getenv("TCSIM_DEBUG_RETIRE") != nullptr;
     if (debug_retire) {
@@ -596,6 +601,7 @@ Processor::classifyFetchBatch(PendingBatch &pending)
     }
     accounting_.usefulFetch(k, reason);
     ++fetchesNeedingPreds_[std::min<unsigned>(batch.predictionsUsed, 3)];
+    predictionsUsedSum_ += batch.predictionsUsed;
 
     oracleFetchIdx_ += k;
     if (!stays_on) {
@@ -1006,6 +1012,11 @@ Processor::resolveControl(DynInst &inst)
                 // refetch with a direction override.
                 inst.resolvedFault = true;
                 ++promotedFaults_;
+                TCSIM_TPOINT(tracer_, Bpred, "fault",
+                             "pc=0x%llx seq=%llu taken=%d",
+                             static_cast<unsigned long long>(inst.pc),
+                             static_cast<unsigned long long>(inst.seq),
+                             inst.taken ? 1 : 0);
 
                 RecoveryRequest req;
                 req.originSeq = inst.seq;
@@ -1082,6 +1093,11 @@ Processor::resolveControl(DynInst &inst)
 
         if (inst.taken != inst.followedDir) {
             inst.resolvedMispredict = true;
+            TCSIM_TPOINT(tracer_, Bpred, "mispredict",
+                         "pc=0x%llx seq=%llu taken=%d",
+                         static_cast<unsigned long long>(inst.pc),
+                         static_cast<unsigned long long>(inst.seq),
+                         inst.taken ? 1 : 0);
             // The machine now follows the corrected direction; later
             // recoveries that anchor on this branch (promoted faults
             // backing up to the previous checkpoint) must resume on
@@ -1347,6 +1363,11 @@ Processor::applyRecovery()
 
     fetchPc_ = redirect;
     icacheStallUntil_ = 0;
+    TCSIM_TPOINT(tracer_, Core, "recover",
+                 "keep=%llu redirect=0x%llx cause=%d salvage=%d",
+                 static_cast<unsigned long long>(req.keepSeq),
+                 static_cast<unsigned long long>(redirect),
+                 static_cast<int>(req.cause), req.salvage ? 1 : 0);
 
     // Oracle resynchronization. The resync anchor is the youngest
     // surviving instruction on the followed path: the keep instruction
@@ -1593,7 +1614,14 @@ Processor::retireOne(DynInst &inst)
         retired.inst = inst.inst;
         retired.pc = inst.pc;
         retired.taken = inst.taken;
-        fillUnit_->retire(retired);
+        if (profiler_ == nullptr) {
+            fillUnit_->retire(retired);
+        } else {
+            const std::uint64_t t0 = obs::SelfProfiler::nowNs();
+            fillUnit_->retire(retired);
+            profiler_->addPhase(obs::Phase::Fill,
+                                obs::SelfProfiler::nowNs() - t0);
+        }
     }
 
     ++retiredInsts_;
@@ -1653,16 +1681,40 @@ void
 Processor::step()
 {
     ++cycle_;
-    retireStage();
-    if (done_)
-        return;
-    completeStage();
-    scheduleStage();
-    dispatchStage();
-    fetchStage();
-    applyRecovery();
-    if (maxInsts_ != 0 && retiredInsts_ >= maxInsts_)
+    if (profiler_ == nullptr) {
+        retireStage();
+        if (!done_) {
+            completeStage();
+            scheduleStage();
+            dispatchStage();
+            fetchStage();
+            applyRecovery();
+        }
+    } else {
+        // Same stage sequence with each stage bracketed by host-clock
+        // reads; the fill unit's share is accounted inside retireOne.
+        std::uint64_t t = obs::SelfProfiler::nowNs();
+        retireStage();
+        t = profiler_->lap(obs::Phase::Retire, t);
+        if (!done_) {
+            completeStage();
+            t = profiler_->lap(obs::Phase::Complete, t);
+            scheduleStage();
+            t = profiler_->lap(obs::Phase::Schedule, t);
+            dispatchStage();
+            t = profiler_->lap(obs::Phase::Dispatch, t);
+            fetchStage();
+            t = profiler_->lap(obs::Phase::Fetch, t);
+            applyRecovery();
+            profiler_->lap(obs::Phase::Recovery, t);
+        }
+    }
+    if (!done_ && maxInsts_ != 0 && retiredInsts_ >= maxInsts_)
         done_ = true;
+    if (intervals_ != nullptr && retiredInsts_ >= intervalNextAt_) {
+        intervals_->snapshot(intervalCounters());
+        intervalNextAt_ = intervals_->nextBoundaryAfter(retiredInsts_);
+    }
 }
 
 SimResult
@@ -1682,6 +1734,8 @@ Processor::run(std::uint64_t max_insts)
     std::uint64_t last_retired = 0;
     while (!done_) {
         step();
+        if (profiler_ != nullptr)
+            profiler_->maybeSample(retiredInsts_);
         if (retiredInsts_ != last_retired) {
             last_retired = retiredInsts_;
             last_progress_cycle = cycle_;
@@ -1722,7 +1776,66 @@ Processor::run(std::uint64_t max_insts)
                   static_cast<unsigned long long>(retiredInsts_));
         }
     }
+    if (intervals_ != nullptr)
+        intervals_->finish(intervalCounters());
+    if (tracer_ != nullptr)
+        tracer_->flush();
     return makeResult();
+}
+
+void
+Processor::attachTracer(obs::Tracer *tracer)
+{
+    tracer_ = tracer;
+    if (tracer != nullptr)
+        tracer->attachClock(&cycle_);
+    fetchEngine_->setTracer(tracer);
+    if (traceCache_ != nullptr)
+        traceCache_->setTracer(tracer);
+    if (fillUnit_ != nullptr)
+        fillUnit_->setTracer(tracer);
+    hierarchy_.icache().setTracer(tracer);
+    hierarchy_.dcache().setTracer(tracer);
+    hierarchy_.l2().setTracer(tracer);
+}
+
+void
+Processor::attachIntervalRecorder(obs::IntervalRecorder *recorder)
+{
+    intervals_ = recorder;
+    if (recorder != nullptr) {
+        // Baseline at attach so the first interval's deltas exclude
+        // anything already simulated (e.g. a warm-up phase).
+        recorder->setBase(intervalCounters());
+        intervalNextAt_ = recorder->nextBoundaryAfter(retiredInsts_);
+    }
+}
+
+obs::IntervalCounters
+Processor::intervalCounters() const
+{
+    obs::IntervalCounters c;
+    c.cycles = cycle_;
+    c.insts = retiredInsts_;
+    c.usefulFetches = accounting_.usefulFetches();
+    c.fetchedInsts = accounting_.fetchedInsts();
+    c.condBranches = retiredCondBranches_;
+    c.condMispredicts = condMispredicts_ + promotedFaults_;
+    c.promotedFaults = promotedFaults_;
+    c.promotedRetired = promotedRetired_;
+    if (fillUnit_ != nullptr) {
+        c.promotions = fillUnit_->biasTable().promotions();
+        c.demotions = fillUnit_->biasTable().demotions();
+        c.segmentsBuilt = fillUnit_->segmentsBuilt();
+    }
+    if (traceCache_ != nullptr) {
+        c.tcLookups = traceCache_->lookups();
+        c.tcHits = traceCache_->hits();
+    }
+    c.icacheMisses = hierarchy_.icache().misses();
+    c.predictionsUsed = predictionsUsedSum_;
+    c.memOrderViolations = memOrderViolations_;
+    return c;
 }
 
 void
@@ -1744,6 +1857,7 @@ Processor::resetStats()
     memOrderViolations_ = 0;
     for (auto &count : fetchesNeedingPreds_)
         count = 0;
+    predictionsUsedSum_ = 0;
     hierarchy_.icache().resetStats();
     hierarchy_.dcache().resetStats();
     hierarchy_.l2().resetStats();

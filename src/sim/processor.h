@@ -45,6 +45,9 @@
 #include "core/node_tables.h"
 #include "fetch/fetch_engine.h"
 #include "memory/hierarchy.h"
+#include "obs/intervals.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "sim/accounting.h"
 #include "sim/config.h"
 #include "trace/fill_unit.h"
@@ -98,6 +101,35 @@ class Processor
      * warm-up phase, reset, then measure a steady-state window.
      */
     void resetStats();
+
+    // ------------------------------------------------------------------
+    // Observability (all opt-in; null pointers keep the hot paths at
+    // one predictable branch each and never change simulation state).
+    // ------------------------------------------------------------------
+
+    /**
+     * Attach @p tracer to every instrumented component (fetch engine,
+     * trace cache, fill unit + bias table, cache hierarchy, core) and
+     * wire its timestamp clock to this processor's cycle counter.
+     * Pass null to detach. The tracer must outlive the processor run.
+     */
+    void attachTracer(obs::Tracer *tracer);
+
+    /**
+     * Sample cumulative counters into @p recorder every
+     * recorder->intervalInsts() retired instructions; run() appends
+     * the final partial sample. Pass null to detach.
+     */
+    void attachIntervalRecorder(obs::IntervalRecorder *recorder);
+
+    /** Account per-stage host time into @p profiler during step(). */
+    void attachProfiler(obs::SelfProfiler *profiler)
+    {
+        profiler_ = profiler;
+    }
+
+    /** Snapshot the cumulative interval counters (also used by run()). */
+    obs::IntervalCounters intervalCounters() const;
 
   private:
     /** A fetched batch plus oracle classification metadata. */
@@ -359,6 +391,16 @@ class Processor
     std::uint64_t resolutionTimeSum_ = 0;
     std::uint64_t resolutionTimeCount_ = 0;
     std::uint64_t fetchesNeedingPreds_[4] = {0, 0, 0, 0};
+    std::uint64_t predictionsUsedSum_ = 0;
+
+    // ------------------------------------------------------------------
+    // Observability hooks (see attach* above).
+    // ------------------------------------------------------------------
+    obs::Tracer *tracer_ = nullptr;
+    obs::IntervalRecorder *intervals_ = nullptr;
+    /** Cached next snapshot boundary (avoids a division per cycle). */
+    std::uint64_t intervalNextAt_ = 0;
+    obs::SelfProfiler *profiler_ = nullptr;
 };
 
 } // namespace tcsim::sim

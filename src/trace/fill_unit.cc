@@ -43,6 +43,9 @@ FillUnit::retire(const RetiredInst &retired)
         pending_.startAddr != retired.pc &&
         missSet_.erase(retired.pc) > 0) {
         ++resyncs_;
+        TCSIM_TPOINT(tracer_, Fill, "resync", "pc=0x%llx pending=0x%llx",
+                     static_cast<unsigned long long>(retired.pc),
+                     static_cast<unsigned long long>(pending_.startAddr));
         finalize(FillReason::Resync);
     }
 
@@ -123,8 +126,12 @@ FillUnit::appendToPending(const TraceInst &ti)
     if (pending_.empty())
         pending_.startAddr = ti.pc;
     pending_.insts.push_back(ti);
-    if (ti.promoted)
+    if (ti.promoted) {
         ++promotedEmbedded_;
+        TCSIM_TPOINT(tracer_, Promote, "embed", "pc=0x%llx dir=%d",
+                     static_cast<unsigned long long>(ti.pc),
+                     ti.promotedDir ? 1 : 0);
+    }
     if (ti.endsBlock)
         ++pending_.numBlockBranches;
     if (isa::isCondBranch(ti.inst.op) && ti.inst.imm < 0 &&
@@ -216,6 +223,11 @@ FillUnit::finalize(FillReason reason)
     pending_.reason = reason;
     ++segmentsBuilt_;
     instsFilled_ += pending_.size();
+    TCSIM_TPOINT(tracer_, Fill, "finalize",
+                 "start=0x%llx size=%u branches=%u reason=%s",
+                 static_cast<unsigned long long>(pending_.startAddr),
+                 pending_.size(), pending_.numBlockBranches,
+                 fillReasonName(reason));
     ++reasonCounts_[static_cast<unsigned>(reason)];
     cache_.insert(std::move(pending_));
     pending_ = TraceSegment{};

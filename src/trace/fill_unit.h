@@ -32,6 +32,7 @@
 
 #include "bpred/bias_table.h"
 #include "common/stats.h"
+#include "obs/trace.h"
 #include "trace/segment.h"
 #include "trace/trace_cache.h"
 
@@ -104,6 +105,17 @@ class FillUnit
     /** @return promotion advice for a branch (for fetch-side stats). */
     const bpred::BranchBiasTable &biasTable() const { return biasTable_; }
 
+    /**
+     * Attach a tracer for `fill`/`promote` trace points; also forwards
+     * to the embedded bias table (null disables).
+     */
+    void
+    setTracer(obs::Tracer *tracer)
+    {
+        tracer_ = tracer;
+        biasTable_.setTracer(tracer);
+    }
+
     std::uint64_t segmentsBuilt() const { return segmentsBuilt_; }
     std::uint64_t promotedEmbedded() const { return promotedEmbedded_; }
 
@@ -168,6 +180,8 @@ class FillUnit
     std::uint64_t promotedEmbedded_ = 0;
     std::uint64_t resyncs_ = 0;
     std::uint64_t reasonCounts_[5] = {0, 0, 0, 0, 0};
+
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace tcsim::trace

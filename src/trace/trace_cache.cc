@@ -37,9 +37,14 @@ TraceCache::lookup(Addr addr)
         if (way.valid && way.segment.startAddr == addr) {
             ++hits_;
             way.lruStamp = tick_;
+            TCSIM_TPOINT(tracer_, TC, "hit", "addr=0x%llx size=%u",
+                         static_cast<unsigned long long>(addr),
+                         way.segment.size());
             return &way.segment;
         }
     }
+    TCSIM_TPOINT(tracer_, TC, "miss", "addr=0x%llx",
+                 static_cast<unsigned long long>(addr));
     return nullptr;
 }
 
@@ -91,8 +96,15 @@ TraceCache::lookupAll(Addr addr,
             candidates.push_back(&way.segment);
         }
     }
-    if (!candidates.empty())
+    if (!candidates.empty()) {
         ++hits_;
+        TCSIM_TPOINT(tracer_, TC, "hit", "addr=0x%llx candidates=%zu",
+                     static_cast<unsigned long long>(addr),
+                     candidates.size());
+    } else {
+        TCSIM_TPOINT(tracer_, TC, "miss", "addr=0x%llx",
+                     static_cast<unsigned long long>(addr));
+    }
 }
 
 void
@@ -114,6 +126,11 @@ TraceCache::insert(TraceSegment segment)
             (!params_.pathAssociativity ||
              samePath(way.segment, segment))) {
             ++sameStartReplacements_;
+            TCSIM_TPOINT(tracer_, TC, "insert",
+                         "addr=0x%llx size=%u same_start=1",
+                         static_cast<unsigned long long>(
+                             segment.startAddr),
+                         segment.size());
             way.segment = std::move(segment);
             way.lruStamp = tick_;
             return;
@@ -130,6 +147,10 @@ TraceCache::insert(TraceSegment segment)
         if (way.lruStamp < victim->lruStamp)
             victim = &way;
     }
+    TCSIM_TPOINT(tracer_, TC, "insert",
+                 "addr=0x%llx size=%u same_start=0 evict=%d",
+                 static_cast<unsigned long long>(segment.startAddr),
+                 segment.size(), victim->valid ? 1 : 0);
     victim->segment = std::move(segment);
     victim->valid = true;
     victim->lruStamp = tick_;

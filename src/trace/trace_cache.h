@@ -16,6 +16,7 @@
 
 #include "common/stats.h"
 #include "common/types.h"
+#include "obs/trace.h"
 #include "trace/segment.h"
 
 namespace tcsim::trace
@@ -95,6 +96,9 @@ class TraceCache
 
     void dumpStats(StatDump &dump) const;
 
+    /** Attach a tracer for `tc` trace points (null disables). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
     /** Zero the statistics counters (contents untouched). */
     void
     resetStats()
@@ -122,6 +126,8 @@ class TraceCache
     std::uint64_t hits_ = 0;
     std::uint64_t inserts_ = 0;
     std::uint64_t sameStartReplacements_ = 0;
+
+    obs::Tracer *tracer_ = nullptr;
 };
 
 } // namespace tcsim::trace

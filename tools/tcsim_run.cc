@@ -17,14 +17,34 @@
  *     --static-promotion    profile-driven static promotion
  *     --histogram           print the fetch-width histogram
  *     --stats               print the full statistics dump
+ *
+ *   Observability (src/obs):
+ *     --trace <cats>        enable trace points: comma list of
+ *                           fetch,tc,fill,promote,bpred,mem,core or
+ *                           'all' (also accepts --trace=tc,promote)
+ *     --trace-out <path>    trace destination (default stderr); the
+ *                           format is inferred from the extension
+ *                           (.jsonl -> JSONL, .json -> Chrome
+ *                           trace_event, else text)
+ *     --trace-format <f>    force text | jsonl | chrome
+ *     --intervals <n>       sample interval metrics every n retired
+ *                           instructions (tcsim-intervals-v1 JSON)
+ *     --intervals-out <p>   intervals destination
+ *                           (default tcsim-intervals.json)
+ *     --profile             print per-phase host-time accounting and
+ *                           sim MIPS after the run
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "obs/intervals.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
 #include "sim/processor.h"
 #include "workload/characterize.h"
 #include "workload/generator.h"
@@ -43,7 +63,10 @@ usage(const char *argv0)
                  "[--threshold <n>] [--packing <policy>] [--insts <n>] "
                  "[--disambiguation <d>] [--path-assoc] "
                  "[--no-partial-match] [--no-inactive-issue] "
-                 "[--static-promotion] [--histogram] [--stats]\n",
+                 "[--static-promotion] [--histogram] [--stats] "
+                 "[--trace <cats>] [--trace-out <path>] "
+                 "[--trace-format text|jsonl|chrome] [--intervals <n>] "
+                 "[--intervals-out <path>] [--profile]\n",
                  argv0);
     std::exit(2);
 }
@@ -82,10 +105,27 @@ main(int argc, char **argv)
     std::uint64_t warmup = 0;
     bool path_assoc = false, no_partial = false, no_inactive = false;
     bool static_promotion = false, histogram = false, full_stats = false;
+    std::string trace_cats, trace_out, trace_format;
+    std::string intervals_out = "tcsim-intervals.json";
+    std::uint64_t interval_insts = 0;
+    bool profile = false;
 
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
+        std::string arg = argv[i];
+        // Accept both "--flag value" and "--flag=value".
+        std::string inline_value;
+        bool has_inline = false;
+        if (arg.rfind("--", 0) == 0) {
+            const auto eq = arg.find('=');
+            if (eq != std::string::npos) {
+                inline_value = arg.substr(eq + 1);
+                arg.erase(eq);
+                has_inline = true;
+            }
+        }
         const auto value = [&]() -> std::string {
+            if (has_inline)
+                return inline_value;
             if (i + 1 >= argc)
                 usage(argv[0]);
             return argv[++i];
@@ -117,13 +157,25 @@ main(int argc, char **argv)
             histogram = true;
         else if (arg == "--stats")
             full_stats = true;
+        else if (arg == "--trace")
+            trace_cats = value();
+        else if (arg == "--trace-out")
+            trace_out = value();
+        else if (arg == "--trace-format")
+            trace_format = value();
+        else if (arg == "--intervals")
+            interval_insts = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--intervals-out")
+            intervals_out = value();
+        else if (arg == "--profile")
+            profile = true;
         else
             usage(argv[0]);
     }
 
     if (bench == "list") {
-        for (const auto &profile : workload::benchmarkSuite())
-            std::printf("%s\n", profile.name.c_str());
+        for (const auto &bench_profile : workload::benchmarkSuite())
+            std::printf("%s\n", bench_profile.name.c_str());
         return 0;
     }
 
@@ -165,11 +217,51 @@ main(int argc, char **argv)
     }
 
     sim::Processor processor(config, program);
+
+    obs::Tracer tracer;
+    if (!trace_cats.empty()) {
+        std::uint32_t mask = 0;
+        std::string error;
+        if (!obs::parseCategoryList(trace_cats, mask, &error))
+            fatal("%s", error.c_str());
+        tracer.setMask(mask);
+        obs::SinkFormat format = obs::inferSinkFormat(trace_out);
+        if (!trace_format.empty() &&
+            !obs::sinkFormatFromName(trace_format, format)) {
+            fatal("unknown trace format '%s'", trace_format.c_str());
+        }
+        auto sink = obs::makeSink(format, trace_out, &error);
+        if (sink == nullptr)
+            fatal("%s", error.c_str());
+        tracer.addSink(std::move(sink));
+        processor.attachTracer(&tracer);
+    }
+
+    std::unique_ptr<obs::SelfProfiler> profiler;
+    if (profile) {
+        profiler = std::make_unique<obs::SelfProfiler>();
+        processor.attachProfiler(profiler.get());
+    }
+
     if (warmup > 0) {
         processor.run(warmup);
         processor.resetStats();
     }
+
+    // Intervals baseline after the warm-up so the series only covers
+    // the measurement window.
+    std::unique_ptr<obs::IntervalRecorder> intervals;
+    if (interval_insts > 0) {
+        intervals = std::make_unique<obs::IntervalRecorder>(interval_insts);
+        processor.attachIntervalRecorder(intervals.get());
+    }
+    if (profiler != nullptr)
+        profiler->beginRun();
+
     const sim::SimResult r = processor.run(warmup + insts);
+
+    if (profiler != nullptr)
+        profiler->endRun(processor.retiredInsts());
 
     std::printf("%-14s %-26s\n", r.benchmark.c_str(), r.config.c_str());
     std::printf("  instructions     %llu\n",
@@ -199,6 +291,32 @@ main(int argc, char **argv)
                     100.0 * r.cycleCat[c] / r.cycles);
     }
     std::printf("\n");
+
+    if (intervals != nullptr) {
+        if (!intervals->writeJsonFile(intervals_out, r.benchmark, r.config))
+            fatal("cannot write intervals to '%s'", intervals_out.c_str());
+        std::printf("  intervals        %zu samples -> %s\n",
+                    intervals->samples().size(), intervals_out.c_str());
+    }
+    if (!trace_cats.empty()) {
+        tracer.flush();
+        std::printf("  trace events     %llu -> %s\n",
+                    static_cast<unsigned long long>(tracer.emitted()),
+                    trace_out.empty() ? "stderr" : trace_out.c_str());
+    }
+    if (profiler != nullptr) {
+        const double total = profiler->totalSeconds();
+        std::printf("\nself-profile (host time):\n");
+        for (unsigned p = 0; p < obs::kNumPhases; ++p) {
+            const auto phase = static_cast<obs::Phase>(p);
+            const double s = profiler->phaseSeconds(phase);
+            std::printf("  %-10s %8.3f s  %5.1f%%\n", obs::phaseName(phase),
+                        s, total > 0 ? 100.0 * s / total : 0.0);
+        }
+        std::printf("  %-10s %8.3f s\n", "total", total);
+        std::printf("  sim speed  %8.3f MIPS\n",
+                    profiler->simMips(processor.retiredInsts()));
+    }
 
     if (histogram) {
         std::printf("\nfetch-width histogram (correct-path fetches):\n");

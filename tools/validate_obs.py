@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validate tcsim observability outputs (stdlib only; used by CI).
+
+Checks any combination of:
+  --trace-jsonl PATH   one JSON object per line with keys
+                       t (int), cat (known category), ev, detail
+  --chrome PATH        Chrome trace_event JSON: {"traceEvents": [...]}
+  --intervals PATH     tcsim-intervals-v1 document
+
+Exits 0 when every named file validates, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+CATEGORIES = {"fetch", "tc", "fill", "promote", "bpred", "mem", "core"}
+
+DELTA_KEYS = {
+    "cycles", "insts", "useful_fetches", "fetched_insts", "cond_branches",
+    "cond_mispredicts", "promoted_faults", "promotions", "demotions",
+    "promoted_retired", "tc_lookups", "tc_hits", "segments_built",
+    "icache_misses", "predictions_used", "mem_order_violations",
+}
+
+RATE_KEYS = {
+    "ipc", "fetch_rate", "tc_hit_rate", "mispredict_rate",
+    "preds_per_fetch", "faults_per_kinst", "promotions_per_kinst",
+    "demotions_per_kinst",
+}
+
+
+def fail(path, message):
+    print(f"validate_obs: {path}: {message}", file=sys.stderr)
+    return False
+
+
+def validate_trace_jsonl(path):
+    count = 0
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as err:
+                return fail(path, f"line {lineno}: invalid JSON: {err}")
+            if set(record) != {"t", "cat", "ev", "detail"}:
+                return fail(path, f"line {lineno}: keys {sorted(record)}")
+            if not isinstance(record["t"], int) or record["t"] < 0:
+                return fail(path, f"line {lineno}: bad cycle {record['t']}")
+            if record["cat"] not in CATEGORIES:
+                return fail(
+                    path, f"line {lineno}: unknown category {record['cat']}")
+            if not isinstance(record["ev"], str) or not record["ev"]:
+                return fail(path, f"line {lineno}: bad event name")
+            if not isinstance(record["detail"], str):
+                return fail(path, f"line {lineno}: bad detail")
+            count += 1
+    if count == 0:
+        return fail(path, "no trace records")
+    print(f"validate_obs: {path}: OK ({count} records)")
+    return True
+
+
+def validate_chrome(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        return fail(path, "missing or empty traceEvents")
+    for i, event in enumerate(events):
+        for key in ("name", "cat", "ph", "ts", "pid", "tid"):
+            if key not in event:
+                return fail(path, f"event {i}: missing {key}")
+        if event["cat"] not in CATEGORIES:
+            return fail(path, f"event {i}: unknown category {event['cat']}")
+    print(f"validate_obs: {path}: OK ({len(events)} events)")
+    return True
+
+
+def validate_intervals(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-intervals-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    for key in ("benchmark", "config", "interval_insts", "intervals"):
+        if key not in doc:
+            return fail(path, f"missing {key}")
+    interval_insts = doc["interval_insts"]
+    if not isinstance(interval_insts, int) or interval_insts <= 0:
+        return fail(path, f"bad interval_insts {interval_insts!r}")
+    intervals = doc["intervals"]
+    if not isinstance(intervals, list) or not intervals:
+        return fail(path, "missing or empty intervals")
+    prev_insts = prev_cycle = -1
+    for i, sample in enumerate(intervals):
+        if set(sample) != {"end_cycle", "end_insts", "delta", "rates"}:
+            return fail(path, f"interval {i}: keys {sorted(sample)}")
+        if set(sample["delta"]) != DELTA_KEYS:
+            missing = DELTA_KEYS.symmetric_difference(sample["delta"])
+            return fail(path, f"interval {i}: delta keys differ: {missing}")
+        if set(sample["rates"]) != RATE_KEYS:
+            missing = RATE_KEYS.symmetric_difference(sample["rates"])
+            return fail(path, f"interval {i}: rate keys differ: {missing}")
+        if sample["end_insts"] <= prev_insts:
+            return fail(path, f"interval {i}: end_insts not increasing")
+        if sample["end_cycle"] <= prev_cycle:
+            return fail(path, f"interval {i}: end_cycle not increasing")
+        delta = sample["delta"]
+        for key, value in delta.items():
+            if not isinstance(value, int) or value < 0:
+                return fail(path, f"interval {i}: delta.{key}={value!r}")
+        if delta["tc_hits"] > delta["tc_lookups"]:
+            return fail(path, f"interval {i}: tc_hits > tc_lookups")
+        if delta["cond_mispredicts"] > delta["cond_branches"]:
+            return fail(path, f"interval {i}: mispredicts > branches")
+        # Every sample except the last must land within one retire
+        # batch of a boundary; a tolerance of interval_insts is safe
+        # for any plausible retire width.
+        if i + 1 < len(intervals):
+            overshoot = sample["end_insts"] % interval_insts
+            if overshoot > interval_insts // 2 and interval_insts > 64:
+                return fail(
+                    path,
+                    f"interval {i}: end_insts {sample['end_insts']} far "
+                    f"from a boundary of {interval_insts}")
+        prev_insts = sample["end_insts"]
+        prev_cycle = sample["end_cycle"]
+    print(f"validate_obs: {path}: OK ({len(intervals)} intervals)")
+    return True
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--trace-jsonl", action="append", default=[])
+    parser.add_argument("--chrome", action="append", default=[])
+    parser.add_argument("--intervals", action="append", default=[])
+    args = parser.parse_args()
+    if not (args.trace_jsonl or args.chrome or args.intervals):
+        parser.error("nothing to validate")
+    ok = True
+    for path in args.trace_jsonl:
+        ok &= validate_trace_jsonl(path)
+    for path in args.chrome:
+        ok &= validate_chrome(path)
+    for path in args.intervals:
+        ok &= validate_intervals(path)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
