@@ -8,9 +8,13 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <sstream>
 
+#include "bench/artifact_cache.h"
 #include "bench/thread_pool.h"
+#include "common/fnv.h"
 #include "obs/profiler.h"
+#include "workload/serialize.h"
 
 namespace tcsim::bench
 {
@@ -226,6 +230,18 @@ instBudget(const workload::BenchmarkProfile &profile)
     return profile.defaultMaxInsts;
 }
 
+std::string
+programArtifactKey(const workload::BenchmarkProfile &profile)
+{
+    std::string key = "program:v";
+    key += std::to_string(workload::kGeneratorVersion);
+    key += ':';
+    key += profile.name;
+    key += ":profile=";
+    key += hashHex(workload::profileFingerprint(profile));
+    return key;
+}
+
 const workload::Program &
 programFor(const std::string &name)
 {
@@ -248,8 +264,36 @@ programFor(const std::string &name)
         entry = &cache[name];
     }
     std::call_once(entry->once, [&] {
+        const workload::BenchmarkProfile &profile =
+            workload::findProfile(name);
+        ArtifactCache &artifacts = ArtifactCache::process();
+        if (artifacts.enabled()) {
+            const std::string key = programArtifactKey(profile);
+            if (std::optional<std::string> image =
+                    artifacts.load("program", key)) {
+                std::istringstream is(*image);
+                // The payload passed the cache checksum, so a parse
+                // failure means a same-version format change — a bug
+                // loadProgram reports fatally; fall through only on a
+                // short stream.
+                if (std::optional<workload::Program> loaded =
+                        workload::loadProgram(is)) {
+                    entry->program = std::make_unique<workload::Program>(
+                        std::move(*loaded));
+                    return;
+                }
+            }
+            workload::Program generated =
+                workload::generateProgram(profile);
+            std::ostringstream image;
+            if (workload::saveProgram(generated, image))
+                artifacts.store("program", key, std::move(image).str());
+            entry->program = std::make_unique<workload::Program>(
+                std::move(generated));
+            return;
+        }
         entry->program = std::make_unique<workload::Program>(
-            workload::generateProgram(workload::findProfile(name)));
+            workload::generateProgram(profile));
     });
     return *entry->program;
 }

@@ -10,6 +10,7 @@
 #include "bpred/bias_table.h"
 #include "bpred/hybrid.h"
 #include "bpred/multi.h"
+#include "core/rename_overlay.h"
 #include "memory/cache.h"
 #include "sim/processor.h"
 #include "trace/fill_unit.h"
@@ -274,6 +275,71 @@ BENCHMARK(BM_FaultRecoveryWindow)
     ->Arg(256)
     ->Arg(1024)
     ->Unit(benchmark::kMillisecond);
+
+// ----------------------------------------------------------------------
+// Shadow-rename fork cost: full RAT copy (the old dispatch scheme)
+// vs. the copy-on-write RenameOverlay. Each iteration forks once and
+// renames a short inactive tail (4 reads + 4 writes), the typical
+// shape of a post-divergence segment tail.
+// ----------------------------------------------------------------------
+
+struct MockRatEntry
+{
+    bool isValue = true;
+    RegVal value = 0;
+    InstSeqNum tag = 0;
+};
+using MockRat = std::array<MockRatEntry, isa::kNumArchRegs>;
+
+MockRat
+makeMockRat()
+{
+    MockRat rat;
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        rat[r] = MockRatEntry{(r % 3) != 0, r * 7ull, r + 100ull};
+    return rat;
+}
+
+void
+BM_ShadowRenameFullCopy(benchmark::State &state)
+{
+    const MockRat rat = makeMockRat();
+    std::uint64_t seq = 1;
+    for (auto _ : state) {
+        MockRat shadow = rat; // the old fork: copy all entries
+        std::uint64_t sum = 0;
+        for (unsigned i = 0; i < 4; ++i) {
+            const unsigned r = (i * 5 + 3) & (isa::kNumArchRegs - 1);
+            sum += shadow[r].value;
+            shadow[r] = MockRatEntry{false, 0, seq++};
+        }
+        benchmark::DoNotOptimize(sum);
+        benchmark::DoNotOptimize(shadow);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowRenameFullCopy);
+
+void
+BM_ShadowRenameOverlay(benchmark::State &state)
+{
+    const MockRat rat = makeMockRat();
+    core::RenameOverlay<MockRatEntry, isa::kNumArchRegs> shadow;
+    std::uint64_t seq = 1;
+    for (auto _ : state) {
+        shadow.fork(rat); // O(1) fork
+        std::uint64_t sum = 0;
+        for (unsigned i = 0; i < 4; ++i) {
+            const unsigned r = (i * 5 + 3) & (isa::kNumArchRegs - 1);
+            sum += shadow.get(r).value;
+            shadow.set(r, MockRatEntry{false, 0, seq++});
+        }
+        benchmark::DoNotOptimize(sum);
+        shadow.reset();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShadowRenameOverlay);
 
 } // namespace
 

@@ -1,0 +1,588 @@
+#include "bench/sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "bench/artifact_cache.h"
+#include "bench/harness.h"
+#include "common/fnv.h"
+#include "common/json.h"
+#include "common/log.h"
+#include "sim/processor.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace tcsim::bench
+{
+
+namespace
+{
+
+constexpr unsigned kNumCycleCats =
+    static_cast<unsigned>(sim::CycleCategory::NumCategories);
+constexpr unsigned kNumFetchReasons =
+    static_cast<unsigned>(sim::FetchReason::NumReasons);
+constexpr unsigned kFetchHistWidth = sim::Accounting::kMaxFetchWidth + 1;
+
+/**
+ * Version of the predictor-checkpoint artifact: the wrapper key layout
+ * plus every component's serialization format. Bump when any of the
+ * saveState formats change so stale warmed blobs regenerate.
+ */
+constexpr unsigned kPredStateVersion = 1;
+
+/**
+ * Deterministic double rendering for the canonical documents: %.17g
+ * round-trips every IEEE double exactly and formats identically in
+ * every process (locale-independent digits for the C locale we run
+ * under), which the byte-identical merge guarantee rests on.
+ */
+std::string
+formatDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+std::string
+jsonEscape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+void
+appendArray(std::string &out, const std::uint64_t *values, unsigned count)
+{
+    out += '[';
+    for (unsigned i = 0; i < count; ++i) {
+        if (i > 0)
+            out += ',';
+        out += std::to_string(values[i]);
+    }
+    out += ']';
+}
+
+double
+ratioOf(std::uint64_t numerator, std::uint64_t denominator)
+{
+    return denominator == 0
+               ? 0.0
+               : static_cast<double>(numerator) / denominator;
+}
+
+/**
+ * The canonical per-unit record. Every byte of a merged results
+ * document's result entries comes from here; derived doubles are
+ * recomputed from the integers on the spot, so it does not matter
+ * whether the integers arrived from an in-process simulation or were
+ * parsed back out of a fragment.
+ */
+void
+appendResultRecord(std::string &out, const WorkUnit &unit,
+                   const ResultIntegers &n, const char *indent)
+{
+    const std::string pad = std::string(indent) + "  ";
+    out += "{\n";
+    auto kv = [&](const char *key, const std::string &rendered,
+                  bool last = false) {
+        out += pad;
+        out += '"';
+        out += key;
+        out += "\": ";
+        out += rendered;
+        if (!last)
+            out += ',';
+        out += '\n';
+    };
+    auto num = [&](const char *key, std::uint64_t value) {
+        kv(key, std::to_string(value));
+    };
+    auto dbl = [&](const char *key, double value) {
+        kv(key, formatDouble(value));
+    };
+
+    kv("benchmark", "\"" + jsonEscape(unit.benchmark) + "\"");
+    kv("config", "\"" + jsonEscape(unit.config.name) + "\"");
+    num("insts", unit.insts);
+    num("warmup", unit.warmup);
+    kv("hash", "\"" + unit.hash + "\"");
+    num("instructions", n.instructions);
+    num("cycles", n.cycles);
+    dbl("ipc", ratioOf(n.instructions, n.cycles));
+    num("useful_fetches", n.usefulFetches);
+    num("fetched_insts", n.fetchedInsts);
+    dbl("effective_fetch_rate", ratioOf(n.fetchedInsts, n.usefulFetches));
+    num("cond_branches", n.condBranches);
+    num("cond_mispredicts", n.condMispredicts);
+    num("promoted_faults", n.promotedFaults);
+    num("indirect_mispredicts", n.indirectMispredicts);
+    dbl("cond_mispredict_rate", ratioOf(n.condMispredicts, n.condBranches));
+    num("resolution_time_sum", n.resolutionTimeSum);
+    num("resolution_time_count", n.resolutionTimeCount);
+    dbl("mean_resolution_time",
+        ratioOf(n.resolutionTimeSum, n.resolutionTimeCount));
+    {
+        std::string rendered;
+        appendArray(rendered, n.fetchesNeedingPreds, 4);
+        kv("fetches_needing_preds", rendered);
+    }
+    dbl("fetches_needing_01",
+        ratioOf(n.fetchesNeedingPreds[0] + n.fetchesNeedingPreds[1],
+                n.usefulFetches));
+    dbl("fetches_needing_2",
+        ratioOf(n.fetchesNeedingPreds[2], n.usefulFetches));
+    dbl("fetches_needing_3",
+        ratioOf(n.fetchesNeedingPreds[3], n.usefulFetches));
+    {
+        std::string rendered;
+        appendArray(rendered, n.cycleCat, kNumCycleCats);
+        kv("cycle_cat", rendered);
+    }
+    {
+        std::string rendered = "[";
+        for (unsigned r = 0; r < kNumFetchReasons; ++r) {
+            if (r > 0)
+                rendered += ',';
+            appendArray(rendered, n.fetchHist[r], kFetchHistWidth);
+        }
+        rendered += ']';
+        kv("fetch_hist", rendered);
+    }
+    num("tc_lookups", n.tcLookups);
+    num("tc_hits", n.tcHits);
+    dbl("tc_hit_ratio", ratioOf(n.tcHits, n.tcLookups));
+    num("icache_misses", n.icacheMisses);
+    kv("promoted_retired", std::to_string(n.promotedRetired), true);
+    out += indent;
+    out += '}';
+}
+
+/** Parse one canonical array member into @p values; false on shape
+ * mismatch. */
+bool
+parseArray(const json::Value &record, const char *key,
+           std::uint64_t *values, unsigned count)
+{
+    const json::Value *array = record.find(key);
+    if (array == nullptr || !array->isArray() ||
+        array->items().size() != count) {
+        return false;
+    }
+    for (unsigned i = 0; i < count; ++i) {
+        const json::Value &item = array->items()[i];
+        if (!item.isNumber())
+            return false;
+        values[i] = item.asUint64();
+    }
+    return true;
+}
+
+/** Parse a fragment's canonical record back into integers. */
+bool
+parseResultRecord(const json::Value &record, ResultIntegers &n)
+{
+    const char *scalar_keys[] = {
+        "instructions",       "cycles",
+        "useful_fetches",     "fetched_insts",
+        "cond_branches",      "cond_mispredicts",
+        "promoted_faults",    "indirect_mispredicts",
+        "resolution_time_sum", "resolution_time_count",
+        "tc_lookups",         "tc_hits",
+        "icache_misses",      "promoted_retired",
+    };
+    std::uint64_t *scalar_slots[] = {
+        &n.instructions,       &n.cycles,
+        &n.usefulFetches,      &n.fetchedInsts,
+        &n.condBranches,       &n.condMispredicts,
+        &n.promotedFaults,     &n.indirectMispredicts,
+        &n.resolutionTimeSum,  &n.resolutionTimeCount,
+        &n.tcLookups,          &n.tcHits,
+        &n.icacheMisses,       &n.promotedRetired,
+    };
+    static_assert(sizeof(scalar_keys) / sizeof(scalar_keys[0]) ==
+                  sizeof(scalar_slots) / sizeof(scalar_slots[0]));
+    for (unsigned i = 0; i < sizeof(scalar_keys) / sizeof(scalar_keys[0]);
+         ++i) {
+        const json::Value *value = record.find(scalar_keys[i]);
+        if (value == nullptr || !value->isNumber())
+            return false;
+        *scalar_slots[i] = value->asUint64();
+    }
+    if (!parseArray(record, "fetches_needing_preds", n.fetchesNeedingPreds,
+                    4) ||
+        !parseArray(record, "cycle_cat", n.cycleCat, kNumCycleCats)) {
+        return false;
+    }
+    const json::Value *hist = record.find("fetch_hist");
+    if (hist == nullptr || !hist->isArray() ||
+        hist->items().size() != kNumFetchReasons) {
+        return false;
+    }
+    for (unsigned r = 0; r < kNumFetchReasons; ++r) {
+        const json::Value &row = hist->items()[r];
+        if (!row.isArray() || row.items().size() != kFetchHistWidth)
+            return false;
+        for (unsigned w = 0; w < kFetchHistWidth; ++w) {
+            if (!row.items()[w].isNumber())
+                return false;
+            n.fetchHist[r][w] = row.items()[w].asUint64();
+        }
+    }
+    return true;
+}
+
+std::string
+predictorStateKey(const WorkUnit &unit)
+{
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile(unit.benchmark);
+    std::string key = "predstate:v";
+    key += std::to_string(kPredStateVersion);
+    key += ":gen=v";
+    key += std::to_string(workload::kGeneratorVersion);
+    key += ":prog=";
+    key += hashHex(workload::profileFingerprint(profile));
+    key += ":cfg=";
+    key += hashHex(sim::configFingerprint(unit.config));
+    key += ":warmup=";
+    key += std::to_string(unit.warmup);
+    return key;
+}
+
+} // namespace
+
+std::vector<sim::ProcessorConfig>
+defaultSweepConfigs()
+{
+    return {sim::icacheConfig(), sim::baselineConfig(),
+            sim::promotionConfig(), sim::packingConfig(),
+            sim::promotionPackingConfig()};
+}
+
+std::optional<sim::ProcessorConfig>
+configByName(const std::string &name)
+{
+    if (name == "icache")
+        return sim::icacheConfig();
+    if (name == "baseline")
+        return sim::baselineConfig();
+    const auto policy_of =
+        [](const std::string &text) -> std::optional<trace::PackingPolicy> {
+        if (text == "atomic")
+            return trace::PackingPolicy::Atomic;
+        if (text == "unregulated")
+            return trace::PackingPolicy::Unregulated;
+        if (text == "n-regulated")
+            return trace::PackingPolicy::NRegulated;
+        if (text == "cost-regulated")
+            return trace::PackingPolicy::CostRegulated;
+        return std::nullopt;
+    };
+    if (name.rfind("promotion-t", 0) == 0) {
+        const std::string digits = name.substr(11);
+        if (digits.empty() ||
+            digits.find_first_not_of("0123456789") != std::string::npos) {
+            return std::nullopt;
+        }
+        return sim::promotionConfig(
+            static_cast<std::uint32_t>(std::stoul(digits)));
+    }
+    if (name.rfind("packing-", 0) == 0) {
+        if (auto policy = policy_of(name.substr(8)))
+            return sim::packingConfig(*policy);
+        return std::nullopt;
+    }
+    if (name.rfind("promo-pack-", 0) == 0) {
+        if (auto policy = policy_of(name.substr(11)))
+            return sim::promotionPackingConfig(64, *policy);
+        return std::nullopt;
+    }
+    return std::nullopt;
+}
+
+std::vector<WorkUnit>
+enumerateUnits(const SweepOptions &options)
+{
+    const std::vector<std::string> benchmarks =
+        options.benchmarks.empty() ? allBenchmarks() : options.benchmarks;
+    const std::vector<sim::ProcessorConfig> configs =
+        options.configs.empty() ? defaultSweepConfigs() : options.configs;
+
+    std::vector<WorkUnit> units;
+    units.reserve(configs.size() * benchmarks.size());
+    for (const sim::ProcessorConfig &config : configs) {
+        const std::uint64_t config_fp = sim::configFingerprint(config);
+        for (const std::string &benchmark : benchmarks) {
+            const workload::BenchmarkProfile &profile =
+                workload::findProfile(benchmark);
+            WorkUnit unit;
+            unit.index = static_cast<std::uint32_t>(units.size());
+            unit.benchmark = benchmark;
+            unit.config = config;
+            unit.insts = options.insts != 0 ? options.insts
+                                            : profile.defaultMaxInsts;
+            unit.warmup = options.warmup;
+            unit.id = benchmark + "@" + config.name + "@" +
+                      std::to_string(unit.insts);
+            std::uint64_t hash = fnv1a(unit.id);
+            hash = fnv1aAppendScalar(hash, workload::kGeneratorVersion);
+            hash = fnv1aAppendScalar(
+                hash, workload::profileFingerprint(profile));
+            hash = fnv1aAppendScalar(hash, config_fp);
+            hash = fnv1aAppendScalar(hash, unit.warmup);
+            unit.hash = hashHex(hash);
+            units.push_back(std::move(unit));
+        }
+    }
+    return units;
+}
+
+std::string
+matrixHash(const std::vector<WorkUnit> &units)
+{
+    std::uint64_t hash = kFnvOffsetBasis;
+    for (const WorkUnit &unit : units)
+        hash = fnv1aAppend(hash, unit.hash);
+    return hashHex(hash);
+}
+
+ResultIntegers
+integersOf(const sim::SimResult &result)
+{
+    ResultIntegers n;
+    n.instructions = result.instructions;
+    n.cycles = result.cycles;
+    n.condBranches = result.condBranches;
+    n.condMispredicts = result.condMispredicts;
+    n.promotedFaults = result.promotedFaults;
+    n.indirectMispredicts = result.indirectMispredicts;
+    n.usefulFetches = result.usefulFetches;
+    n.fetchedInsts = result.fetchedInsts;
+    n.resolutionTimeSum = result.resolutionTimeSum;
+    n.resolutionTimeCount = result.resolutionTimeCount;
+    for (unsigned i = 0; i < 4; ++i)
+        n.fetchesNeedingPreds[i] = result.fetchesNeedingPreds[i];
+    for (unsigned c = 0; c < kNumCycleCats; ++c)
+        n.cycleCat[c] = result.cycleCat[c];
+    for (unsigned r = 0; r < kNumFetchReasons; ++r)
+        for (unsigned w = 0; w < kFetchHistWidth; ++w)
+            n.fetchHist[r][w] = result.fetchHist[r][w];
+    n.tcLookups = result.tcLookups;
+    n.tcHits = result.tcHits;
+    n.icacheMisses = result.icacheMisses;
+    n.promotedRetired = result.promotedRetired;
+    return n;
+}
+
+sim::SimResult
+executeUnit(const WorkUnit &unit)
+{
+    const workload::Program &program = programFor(unit.benchmark);
+    sim::Processor proc(unit.config, program);
+
+    if (unit.warmup > 0) {
+        // The warmed predictor state is a pure function of
+        // (program, config, warmup length, format versions), so it is
+        // memoized through the artifact cache. The measurement run
+        // ALWAYS imports the blob into a fresh processor — also right
+        // after generating it — so a cache hit replays exactly the
+        // cold path and cannot change simulation results.
+        const std::string key = predictorStateKey(unit);
+        const std::string blob =
+            ArtifactCache::process().getOrCreate("predstate", key, [&] {
+                sim::Processor trainer(unit.config, program);
+                trainer.run(unit.warmup);
+                std::ostringstream os;
+                trainer.exportPredictorState(os);
+                return std::move(os).str();
+            });
+        std::istringstream is(blob);
+        if (!proc.importPredictorState(is)) {
+            fatal("predictor checkpoint for %s rejected by a processor "
+                  "with the same configuration (format bug)",
+                  unit.id.c_str());
+        }
+    }
+    return proc.run(unit.insts);
+}
+
+std::string
+renderFragment(const WorkUnit &unit, const ResultIntegers &integers,
+               const UnitTiming &timing)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"tcsim-bench-fragment-v1\",\n";
+    out += "  \"unit\": {\n";
+    out += "    \"index\": " + std::to_string(unit.index) + ",\n";
+    out += "    \"id\": \"" + jsonEscape(unit.id) + "\",\n";
+    out += "    \"hash\": \"" + unit.hash + "\",\n";
+    out += "    \"benchmark\": \"" + jsonEscape(unit.benchmark) + "\",\n";
+    out += "    \"config\": \"" + jsonEscape(unit.config.name) + "\",\n";
+    out += "    \"insts\": " + std::to_string(unit.insts) + ",\n";
+    out += "    \"warmup\": " + std::to_string(unit.warmup) + "\n";
+    out += "  },\n";
+    out += "  \"result\": ";
+    appendResultRecord(out, unit, integers, "  ");
+    out += ",\n";
+    // Non-canonical section: never copied into the merged document.
+    out += "  \"timing\": {\n";
+    out += "    \"wall_seconds\": " + formatDouble(timing.wallSeconds) +
+           ",\n";
+    out += "    \"cache_hits\": " + std::to_string(timing.cacheHits) +
+           ",\n";
+    out += "    \"cache_misses\": " + std::to_string(timing.cacheMisses) +
+           "\n";
+    out += "  }\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+renderResultsDoc(const std::vector<WorkUnit> &units,
+                 const std::vector<ResultIntegers> &integers)
+{
+    TCSIM_ASSERT(units.size() == integers.size());
+    std::string out = "{\n";
+    out += "  \"schema\": \"tcsim-bench-results-v1\",\n";
+    out += "  \"matrix_hash\": \"" + matrixHash(units) + "\",\n";
+    out += "  \"units\": " + std::to_string(units.size()) + ",\n";
+    out += "  \"results\": [\n";
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        out += "    ";
+        appendResultRecord(out, units[i], integers[i], "    ");
+        out += i + 1 < units.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+fragmentPath(const std::string &dir, const WorkUnit &unit)
+{
+    return dir + "/" + unit.hash + ".json";
+}
+
+bool
+writeFragment(const std::string &dir, const WorkUnit &unit,
+              const ResultIntegers &integers, const UnitTiming &timing)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return false;
+    const std::string path = fragmentPath(dir, unit);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        const std::string doc = renderFragment(unit, integers, timing);
+        out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+        if (!out) {
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+std::optional<std::string>
+mergeFragments(const SweepOptions &options,
+               const std::string &fragments_dir, MergeReport &report)
+{
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+    std::map<std::string, std::size_t> by_hash;
+    for (std::size_t i = 0; i < units.size(); ++i)
+        by_hash.emplace(units[i].hash, i);
+
+    // Deterministic scan order so reports are stable run to run.
+    std::vector<std::string> files;
+    {
+        std::error_code ec;
+        for (std::filesystem::directory_iterator
+                 it(fragments_dir, ec),
+             end;
+             !ec && it != end; it.increment(ec)) {
+            if (it->path().extension() == ".json")
+                files.push_back(it->path().string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+
+    std::vector<ResultIntegers> integers(units.size());
+    std::vector<bool> filled(units.size(), false);
+    for (const std::string &file : files) {
+        std::string error;
+        const std::optional<json::Value> doc =
+            json::parseFile(file, &error);
+        if (!doc || !doc->isObject() ||
+            doc->getString("schema") != "tcsim-bench-fragment-v1") {
+            report.corrupt.push_back(file);
+            continue;
+        }
+        const json::Value *unit_obj = doc->find("unit");
+        const json::Value *result_obj = doc->find("result");
+        if (unit_obj == nullptr || !unit_obj->isObject() ||
+            result_obj == nullptr || !result_obj->isObject()) {
+            report.corrupt.push_back(file);
+            continue;
+        }
+        const std::string hash = unit_obj->getString("hash");
+        // The filename stem is the claimed unit hash; a mismatch means
+        // the file was renamed or half-written and cannot be trusted.
+        if (std::filesystem::path(file).stem().string() != hash) {
+            report.corrupt.push_back(file);
+            continue;
+        }
+        const auto wanted = by_hash.find(hash);
+        if (wanted == by_hash.end()) {
+            report.stale.push_back(file);
+            continue;
+        }
+        if (filled[wanted->second]) {
+            report.duplicates.push_back(file);
+            continue;
+        }
+        ResultIntegers n;
+        if (!parseResultRecord(*result_obj, n)) {
+            report.corrupt.push_back(file);
+            continue;
+        }
+        integers[wanted->second] = n;
+        filled[wanted->second] = true;
+    }
+
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        if (!filled[i])
+            report.missing.push_back(units[i].id);
+    }
+    if (!report.complete())
+        return std::nullopt;
+    return renderResultsDoc(units, integers);
+}
+
+} // namespace tcsim::bench

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * The sharded sweep engine: a deterministic work-unit protocol over
+ * the (benchmark, configuration) matrix, process-parallel execution
+ * via shards or explicit worklists, and a merge layer that combines
+ * per-unit result fragments into one canonical results document.
+ *
+ * Determinism contract:
+ *
+ *  - enumerateUnits() yields the matrix in a stable order
+ *    (configuration-major, matching sweepMatrix), with each unit
+ *    carrying a content hash over everything its result depends on:
+ *    unit identity, config fingerprint, generator version, profile
+ *    fingerprint and warm-up length. Any change to those regenerates
+ *    the hash, so stale fragments are detected instead of merged.
+ *
+ *  - The canonical results document ("tcsim-bench-results-v1") stores
+ *    only deterministic integers plus doubles *derived from those
+ *    integers at write time* by the single shared renderer. Both the
+ *    single-process path (simulate everything, render) and the
+ *    sharded path (render from integers parsed back out of
+ *    fragments) call the same renderer on the same integers, so the
+ *    two documents are byte-identical. Wall-clock and cache-stat
+ *    timing lives in fragments and the separate timing document,
+ *    never in the canonical document.
+ *
+ *  - Fragments ("tcsim-bench-fragment-v1") are one file per unit,
+ *    named "<hash>.json" and written atomically (temp file + rename),
+ *    so a killed worker loses at most its in-flight unit and a rerun
+ *    only needs the units check() reports missing.
+ */
+
+#ifndef TCSIM_BENCH_SWEEP_H
+#define TCSIM_BENCH_SWEEP_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/accounting.h"
+#include "sim/config.h"
+
+namespace tcsim::bench
+{
+
+/** One (benchmark, configuration) cell of the sweep matrix. */
+struct WorkUnit
+{
+    std::uint32_t index = 0; ///< position in enumeration order
+    std::string benchmark;
+    sim::ProcessorConfig config;
+    std::uint64_t insts = 0;  ///< resolved measurement budget
+    std::uint64_t warmup = 0; ///< predictor warm-up instructions
+    std::string id;   ///< "<benchmark>@<config>@<insts>"
+    std::string hash; ///< 16-hex content hash (see file comment)
+};
+
+/** Matrix parameters shared by workers and the merger. */
+struct SweepOptions
+{
+    /** Benchmarks to sweep; empty = the whole suite. */
+    std::vector<std::string> benchmarks;
+    /** Configurations to sweep; empty = defaultSweepConfigs(). */
+    std::vector<sim::ProcessorConfig> configs;
+    /** Per-unit instruction budget; 0 = each profile's default. */
+    std::uint64_t insts = 0;
+    /** Predictor warm-up instructions per unit (0 = cold start). */
+    std::uint64_t warmup = 0;
+};
+
+/** The paper's headline configurations, used when none are named. */
+std::vector<sim::ProcessorConfig> defaultSweepConfigs();
+
+/**
+ * Resolve a configuration preset by name: "icache", "baseline",
+ * "promotion-t<N>", "packing-<policy>", "promo-pack-<policy>" with
+ * policy one of atomic / unregulated / n-regulated / cost-regulated.
+ * @return empty optional for an unknown name.
+ */
+std::optional<sim::ProcessorConfig> configByName(const std::string &name);
+
+/** Enumerate the matrix in stable order with content hashes. */
+std::vector<WorkUnit> enumerateUnits(const SweepOptions &options);
+
+/** FNV-1a over all unit hashes in order, rendered as 16-hex. */
+std::string matrixHash(const std::vector<WorkUnit> &units);
+
+/**
+ * The deterministic integer payload of one simulated unit — exactly
+ * the fields a fragment carries and the canonical renderer consumes.
+ */
+struct ResultIntegers
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+    std::uint64_t condBranches = 0;
+    std::uint64_t condMispredicts = 0;
+    std::uint64_t promotedFaults = 0;
+    std::uint64_t indirectMispredicts = 0;
+    std::uint64_t usefulFetches = 0;
+    std::uint64_t fetchedInsts = 0;
+    std::uint64_t resolutionTimeSum = 0;
+    std::uint64_t resolutionTimeCount = 0;
+    std::uint64_t fetchesNeedingPreds[4] = {};
+    std::uint64_t cycleCat[static_cast<unsigned>(
+        sim::CycleCategory::NumCategories)] = {};
+    std::uint64_t fetchHist[static_cast<unsigned>(
+        sim::FetchReason::NumReasons)]
+                           [sim::Accounting::kMaxFetchWidth + 1] = {};
+    std::uint64_t tcLookups = 0;
+    std::uint64_t tcHits = 0;
+    std::uint64_t icacheMisses = 0;
+    std::uint64_t promotedRetired = 0;
+};
+
+/** Extract the integer payload of @p result. */
+ResultIntegers integersOf(const sim::SimResult &result);
+
+/** Non-canonical per-unit timing, carried by fragments only. */
+struct UnitTiming
+{
+    double wallSeconds = 0.0;
+    /** Program image / predictor checkpoint cache hits this unit. */
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+};
+
+/**
+ * Simulate one unit: program image via the artifact cache, then —
+ * when unit.warmup > 0 — a predictor-state checkpoint (generated
+ * once, cached, and imported into a fresh processor) followed by the
+ * measurement run. Cache hits substitute only for re-running
+ * deterministic producers, so results are identical hit or miss.
+ */
+sim::SimResult executeUnit(const WorkUnit &unit);
+
+/** Render one fragment document (canonical integers + timing). */
+std::string renderFragment(const WorkUnit &unit,
+                           const ResultIntegers &integers,
+                           const UnitTiming &timing);
+
+/**
+ * Render the canonical results document for the full matrix. @p
+ * integers must parallel @p units. This is the ONLY producer of
+ * "tcsim-bench-results-v1" bytes; byte-identity of the sharded and
+ * single-process paths rests on both funneling through it.
+ */
+std::string renderResultsDoc(const std::vector<WorkUnit> &units,
+                             const std::vector<ResultIntegers> &integers);
+
+/** @return "<dir>/<hash>.json", the fragment path for @p unit. */
+std::string fragmentPath(const std::string &dir, const WorkUnit &unit);
+
+/** Write @p unit's fragment atomically. @return false on I/O error. */
+bool writeFragment(const std::string &dir, const WorkUnit &unit,
+                   const ResultIntegers &integers,
+                   const UnitTiming &timing);
+
+/** What the merge (or check) pass found in a fragments directory. */
+struct MergeReport
+{
+    /** Unit ids present in the matrix but with no valid fragment. */
+    std::vector<std::string> missing;
+    /** Fragment files whose unit hash is not in the matrix. */
+    std::vector<std::string> stale;
+    /** Extra valid fragments for an already-filled unit. */
+    std::vector<std::string> duplicates;
+    /** Unreadable / unparseable / internally inconsistent files. */
+    std::vector<std::string> corrupt;
+
+    bool complete() const { return missing.empty() && corrupt.empty(); }
+};
+
+/**
+ * Scan @p fragments_dir and assemble the canonical results document
+ * for @p options' matrix.
+ * @return the document when every unit was found (report still lists
+ * stale/duplicate files); empty optional otherwise, with the holes in
+ * @p report.
+ */
+std::optional<std::string> mergeFragments(const SweepOptions &options,
+                                          const std::string &fragments_dir,
+                                          MergeReport &report);
+
+} // namespace tcsim::bench
+
+#endif // TCSIM_BENCH_SWEEP_H

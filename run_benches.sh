@@ -1,23 +1,237 @@
 #!/bin/bash
-# Runs every experiment binary, teeing combined output.
+# Runs every experiment binary, teeing combined output — or, with
+# --sweep N, runs the (benchmark, config) matrix as N sharded worker
+# processes through tools/tcsim_sweep with crash detection, bounded
+# retry, and a byte-deterministic merge.
 #
-# Each exhibit fans its (benchmark, config) jobs across TCSIM_JOBS
-# worker threads (default: all cores); results are identical at any
-# job count. Per-exhibit wall-clock and per-run metrics (including
-# simulated MIPS) are merged into BENCH_results.json so the perf
+# Exhibit mode: each exhibit fans its (benchmark, config) jobs across
+# TCSIM_JOBS worker threads (default: all cores); results are
+# identical at any job count. Per-exhibit wall-clock and per-run
+# metrics (including simulated MIPS) are merged into
+# BENCH_results.json (schema tcsim-bench-exhibits-v1) so the perf
 # trajectory is machine-readable.
 #
-# Usage: run_benches.sh [--long]
-#   --long  raise the default instruction budget to 1M per run
-#           (statistically meaningful sweeps; an explicit TCSIM_INSTS
-#           still wins).
-cd /root/repo
+# Sweep mode (--sweep N): shards the work-unit matrix across N
+# tcsim_sweep worker processes writing atomic per-unit fragments, then
+# retries any units lost to crashes or timeouts (round-robin
+# worklists, up to TCSIM_SWEEP_RETRIES passes, per-unit timeout
+# TCSIM_UNIT_TIMEOUT seconds), merges the fragments into
+# SWEEP_results.json (schema tcsim-bench-results-v1 — byte-identical
+# to a single-process run of the same matrix), and records sweep
+# timing + artifact-cache statistics in BENCH_results.json. Generated
+# program images and warmed predictor checkpoints are reused across
+# workers and runs via the content-addressed cache in TCSIM_CACHE_DIR
+# (default .tcsim_cache).
+#
+# Usage: run_benches.sh [--long] [--sweep N] [--inject-kill]
+#                       [--warm-compare]
+#   --long          raise the default instruction budget to 1M per run
+#                   (statistically meaningful sweeps; an explicit
+#                   TCSIM_INSTS still wins).
+#   --sweep N       sweep mode with N worker processes.
+#   --inject-kill   (sweep mode) worker 0 SIGKILLs itself after one
+#                   unit, exercising the crash-retry path (CI).
+#   --warm-compare  (sweep mode) after the merge, re-run the matrix
+#                   single-process against the now-warm artifact cache,
+#                   assert the document is byte-identical, and record
+#                   the cold-vs-warm wall-clock in BENCH_results.json.
+#
+# Sweep-mode environment:
+#   TCSIM_SWEEP_ARGS     extra tcsim_sweep matrix args, word-split
+#                        (e.g. "--benchmarks compress,li --configs
+#                        baseline,promotion-t64")
+#   TCSIM_WARMUP         per-unit predictor warm-up instructions
+#   TCSIM_CACHE_DIR      artifact cache directory (default
+#                        .tcsim_cache; empty string disables)
+#   TCSIM_UNIT_TIMEOUT   per-unit timeout seconds (default 600)
+#   TCSIM_SWEEP_RETRIES  retry passes after the first (default 2)
+cd /root/repo || exit 1
 
-if [ "${1:-}" = "--long" ]; then
-    export TCSIM_INSTS="${TCSIM_INSTS:-1000000}"
+sweep_shards=0
+inject_kill=0
+warm_compare=0
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --long)
+            export TCSIM_INSTS="${TCSIM_INSTS:-1000000}"
+            ;;
+        --sweep)
+            shift
+            sweep_shards="$1"
+            ;;
+        --inject-kill)
+            inject_kill=1
+            ;;
+        --warm-compare)
+            warm_compare=1
+            ;;
+        *)
+            echo "unknown option: $1" >&2
+            exit 1
+            ;;
+    esac
     shift
+done
+
+# ----------------------------------------------------------------------
+# Sweep mode.
+# ----------------------------------------------------------------------
+if [ "$sweep_shards" -gt 0 ]; then
+    sweep_bin=build/tools/tcsim_sweep
+    [ -x "$sweep_bin" ] || { echo "$sweep_bin not built" >&2; exit 1; }
+
+    unit_timeout="${TCSIM_UNIT_TIMEOUT:-600}"
+    max_retries="${TCSIM_SWEEP_RETRIES:-2}"
+    cache_dir="${TCSIM_CACHE_DIR-.tcsim_cache}"
+
+    # Matrix arguments shared verbatim by workers, check and merge —
+    # unit hashes only line up when every invocation sees the same
+    # matrix. TCSIM_SWEEP_ARGS is word-split by design.
+    # shellcheck disable=SC2206
+    matrix_args=(${TCSIM_SWEEP_ARGS-})
+    [ -n "${TCSIM_INSTS:-}" ] && matrix_args+=(--insts "$TCSIM_INSTS")
+    [ -n "${TCSIM_WARMUP:-}" ] && matrix_args+=(--warmup "$TCSIM_WARMUP")
+    [ -n "$cache_dir" ] && matrix_args+=(--cache-dir "$cache_dir")
+
+    sweep_dir=.sweep.tmp
+    frags="$sweep_dir/fragments"
+    rm -rf "$sweep_dir"
+    mkdir -p "$frags"
+
+    n_units=$("$sweep_bin" --list "${matrix_args[@]}" \
+                  | sed -n 's/^matrix [0-9a-f]* (\([0-9]*\) units)$/\1/p')
+    [ -n "$n_units" ] || { echo "cannot enumerate matrix" >&2; exit 1; }
+    units_per_shard=$(( (n_units + sweep_shards - 1) / sweep_shards ))
+    echo "sweep: $n_units units across $sweep_shards workers" \
+         "(per-unit timeout ${unit_timeout}s)"
+
+    total_start=$(date +%s)
+
+    # Pass 0: one shard per worker; the process timeout is the
+    # per-unit budget times the shard's unit count.
+    pids=()
+    for i in $(seq 0 $((sweep_shards - 1))); do
+        worker_args=(--shard "$i/$sweep_shards" --fragments-dir "$frags"
+                     --timing-out "$sweep_dir/timing.$i.json")
+        if [ "$inject_kill" -eq 1 ] && [ "$i" -eq 0 ]; then
+            worker_args+=(--die-after 1)
+        fi
+        timeout $((unit_timeout * units_per_shard)) \
+            "$sweep_bin" "${matrix_args[@]}" "${worker_args[@]}" \
+            > "$sweep_dir/worker.$i.log" 2>&1 &
+        pids+=($!)
+    done
+    crashed=0
+    for i in $(seq 0 $((sweep_shards - 1))); do
+        code=0
+        wait "${pids[$i]}" || code=$?
+        if [ "$code" -ne 0 ]; then
+            echo "sweep: worker $i exited with code $code" \
+                 "(crash or timeout; its missing units will be retried)"
+            crashed=$((crashed + 1))
+        fi
+    done
+
+    # Bounded retry: split the missing units round-robin into fresh
+    # worklists and re-run each unit under its own timeout.
+    retries_used=0
+    for pass in $(seq 1 "$max_retries"); do
+        "$sweep_bin" --check --fragments-dir "$frags" \
+            "${matrix_args[@]}" > "$sweep_dir/missing.txt" \
+            2> "$sweep_dir/check.log" && break
+        n_missing=$(wc -l < "$sweep_dir/missing.txt")
+        echo "sweep: retry pass $pass for $n_missing missing units"
+        retries_used=$pass
+        for i in $(seq 0 $((sweep_shards - 1))); do
+            : > "$sweep_dir/retry.$i.txt"
+        done
+        j=0
+        while read -r h; do
+            [ -n "$h" ] || continue
+            echo "$h" >> "$sweep_dir/retry.$((j % sweep_shards)).txt"
+            j=$((j + 1))
+        done < "$sweep_dir/missing.txt"
+        pids=()
+        for i in $(seq 0 $((sweep_shards - 1))); do
+            [ -s "$sweep_dir/retry.$i.txt" ] || continue
+            (
+                while read -r h; do
+                    [ -n "$h" ] || continue
+                    echo "$h" > "$sweep_dir/retry.$i.one"
+                    timeout "$unit_timeout" "$sweep_bin" \
+                        "${matrix_args[@]}" \
+                        --worklist "$sweep_dir/retry.$i.one" \
+                        --fragments-dir "$frags" \
+                        >> "$sweep_dir/worker.$i.log" 2>&1 || true
+                done < "$sweep_dir/retry.$i.txt"
+            ) &
+            pids+=($!)
+        done
+        for pid in "${pids[@]}"; do wait "$pid" || true; done
+    done
+
+    if ! "$sweep_bin" --check --fragments-dir "$frags" \
+             "${matrix_args[@]}" > /dev/null 2>&1; then
+        echo "sweep: units still missing after $max_retries retries:" >&2
+        "$sweep_bin" --check --fragments-dir "$frags" \
+            "${matrix_args[@]}" 2>&1 >&2 | sed 's/^/  /' >&2
+        exit 1
+    fi
+
+    "$sweep_bin" --merge --fragments-dir "$frags" "${matrix_args[@]}" \
+        --out SWEEP_results.json || exit 1
+    total=$(( $(date +%s) - total_start ))
+
+    # Optional warm rerun: with every program image and predictor
+    # checkpoint now cached, a single-process pass must be faster AND
+    # byte-identical — cache hits may only ever change wall-clock.
+    warm_json=""
+    if [ "$warm_compare" -eq 1 ] && [ -n "$cache_dir" ]; then
+        warm_start=$(date +%s.%N)
+        "$sweep_bin" "${matrix_args[@]}" \
+            --out "$sweep_dir/warm.json" \
+            --timing-out "$sweep_dir/warm.timing.json" \
+            > "$sweep_dir/warm.log" 2>&1 || exit 1
+        warm_end=$(date +%s.%N)
+        if ! cmp -s SWEEP_results.json "$sweep_dir/warm.json"; then
+            echo "warm rerun changed simulation results" >&2
+            exit 1
+        fi
+        warm_json=$(printf \
+            '"warm_rerun":{"wall_seconds":%s,"byte_identical":true,"timing":%s},' \
+            "$(echo "$warm_end $warm_start" | awk '{printf "%.3f", $1-$2}')" \
+            "$(tr -d '\n' < "$sweep_dir/warm.timing.json")")
+        echo "sweep: warm rerun byte-identical"
+    fi
+
+    # BENCH_results.json: sweep timing + per-worker cache statistics
+    # (the canonical simulation numbers live in SWEEP_results.json;
+    # everything here is wall-clock, which is why it is kept apart).
+    {
+        printf '{"schema":"tcsim-bench-exhibits-v1",'
+        printf '"sweep":{"shards":%d,"units":%d,' \
+            "$sweep_shards" "$n_units"
+        printf '"total_wall_seconds":%d,"retry_passes":%d,' \
+            "$total" "$retries_used"
+        printf '"crashed_workers":%d,%s"workers":[' "$crashed" "$warm_json"
+        first=1
+        for f in "$sweep_dir"/timing.*.json; do
+            [ -f "$f" ] || continue
+            [ $first -eq 1 ] || printf ','
+            first=0
+            tr -d '\n' < "$f"
+        done
+        printf ']},"exhibits":[]}\n'
+    } > BENCH_results.json
+    rm -rf "$sweep_dir"
+    echo "SWEEP COMPLETE in ${total}s" \
+         "(results: SWEEP_results.json, timing: BENCH_results.json)"
+    exit 0
 fi
 
+# ----------------------------------------------------------------------
+# Exhibit mode.
+# ----------------------------------------------------------------------
 results_dir=.bench_results.tmp
 rm -rf "$results_dir"
 mkdir -p "$results_dir"
@@ -41,7 +255,7 @@ total=$((total_end - total_start))
 # Merge the per-exhibit JSON fragments (one object per line each)
 # into a single results file.
 {
-    printf '{"schema":"tcsim-bench-results-v1","jobs":"%s",' \
+    printf '{"schema":"tcsim-bench-exhibits-v1","jobs":"%s",' \
         "${TCSIM_JOBS:-auto}"
     printf '"total_wall_seconds":%d,"exhibits":[' "$total"
     first=1

@@ -1,7 +1,11 @@
 #include "bpred/bias_table.h"
 
 #include <bit>
+#include <cstring>
+#include <istream>
+#include <ostream>
 
+#include "common/binio.h"
 #include "common/bitutils.h"
 #include "common/log.h"
 #include "isa/instruction.h"
@@ -15,6 +19,8 @@ BranchBiasTable::BranchBiasTable(const BiasTableParams &params)
     TCSIM_ASSERT(isPowerOf2(params_.entries));
     TCSIM_ASSERT(params_.promoteThreshold >= 1);
     TCSIM_ASSERT(params_.counterMax >= params_.promoteThreshold);
+    TCSIM_ASSERT(params_.counterMax <= Entry::kCountMask,
+                 "consecutive counter must fit the packed word");
     indexMask_ = params_.entries - 1;
     tagShift_ = static_cast<std::uint32_t>(
         std::countr_zero(params_.entries));
@@ -28,7 +34,7 @@ BranchBiasTable::indexOf(Addr pc) const
                                       indexMask_);
 }
 
-Addr
+std::uint64_t
 BranchBiasTable::tagOf(Addr pc) const
 {
     return (pc / isa::kInstBytes) >> tagShift_;
@@ -38,39 +44,37 @@ void
 BranchBiasTable::update(Addr pc, bool taken)
 {
     Entry &entry = entries_[indexOf(pc)];
-    const Addr tag = tagOf(pc);
+    const std::uint64_t tag = tagOf(pc);
 
     if (entry.tag != tag) {
         // Miss: the displaced branch loses any promoted status.
-        if (entry.promoted) {
+        if (entry.promoted()) {
             TCSIM_TPOINT(tracer_, Promote, "displace", "pc=0x%llx",
                          static_cast<unsigned long long>(pc));
         }
         entry.tag = tag;
-        entry.lastOutcome = taken;
-        entry.count = 1;
-        entry.promoted = false;
-        entry.promotedDir = false;
+        entry.meta = 1; // count=1, lastOutcome/promoted/dir clear
+        entry.setFlag(Entry::kLastOutcomeBit, taken);
         return;
     }
 
-    if (entry.lastOutcome == taken) {
-        if (entry.count < params_.counterMax)
-            ++entry.count;
+    if (entry.lastOutcome() == taken) {
+        if (entry.count() < params_.counterMax)
+            entry.setCount(entry.count() + 1);
     } else {
-        entry.lastOutcome = taken;
-        entry.count = 1;
+        entry.setFlag(Entry::kLastOutcomeBit, taken);
+        entry.setCount(1);
     }
 
-    if (!entry.promoted && entry.count >= params_.promoteThreshold) {
-        entry.promoted = true;
-        entry.promotedDir = taken;
+    if (!entry.promoted() && entry.count() >= params_.promoteThreshold) {
+        entry.setFlag(Entry::kPromotedBit, true);
+        entry.setFlag(Entry::kPromotedDirBit, taken);
         ++promotions_;
         TCSIM_TPOINT(tracer_, Promote, "promote", "pc=0x%llx dir=%d",
                      static_cast<unsigned long long>(pc), taken ? 1 : 0);
-    } else if (entry.promoted && taken != entry.promotedDir &&
-               entry.count >= 2) {
-        entry.promoted = false;
+    } else if (entry.promoted() && taken != entry.promotedDir() &&
+               entry.count() >= 2) {
+        entry.setFlag(Entry::kPromotedBit, false);
         ++demotions_;
         TCSIM_TPOINT(tracer_, Promote, "demote", "pc=0x%llx dir=%d",
                      static_cast<unsigned long long>(pc), taken ? 1 : 0);
@@ -82,11 +86,64 @@ BranchBiasTable::advice(Addr pc) const
 {
     const Entry &entry = entries_[indexOf(pc)];
     PromotionAdvice result;
-    if (entry.tag == tagOf(pc) && entry.promoted) {
+    if (entry.tag == tagOf(pc) && entry.promoted()) {
         result.promote = true;
-        result.direction = entry.promotedDir;
+        result.direction = entry.promotedDir();
     }
     return result;
+}
+
+namespace
+{
+
+using binio::readScalar;
+using binio::writeScalar;
+
+constexpr char kStateMagic[8] = {'T', 'C', 'B', 'I', 'A', 'S', 'v', '1'};
+
+} // namespace
+
+void
+BranchBiasTable::saveState(std::ostream &os) const
+{
+    binio::writeMagic(os, kStateMagic);
+    writeScalar<std::uint32_t>(os, params_.entries);
+    writeScalar<std::uint32_t>(os, params_.promoteThreshold);
+    writeScalar<std::uint32_t>(os, params_.counterMax);
+    writeScalar<std::uint64_t>(os, promotions_);
+    writeScalar<std::uint64_t>(os, demotions_);
+    for (const Entry &entry : entries_) {
+        writeScalar<std::uint64_t>(os, entry.tag);
+        writeScalar<std::uint32_t>(os, entry.meta);
+    }
+}
+
+bool
+BranchBiasTable::restoreState(std::istream &is)
+{
+    if (!binio::expectMagic(is, kStateMagic))
+        return false;
+    std::uint32_t entries = 0, threshold = 0, counter_max = 0;
+    if (!readScalar(is, entries) || !readScalar(is, threshold) ||
+        !readScalar(is, counter_max) || entries != params_.entries ||
+        threshold != params_.promoteThreshold ||
+        counter_max != params_.counterMax) {
+        return false;
+    }
+    std::uint64_t promotions = 0, demotions = 0;
+    if (!readScalar(is, promotions) || !readScalar(is, demotions))
+        return false;
+    std::vector<Entry> loaded(params_.entries);
+    for (Entry &entry : loaded) {
+        if (!readScalar(is, entry.tag) || !readScalar(is, entry.meta))
+            return false;
+        if (entry.count() > params_.counterMax)
+            return false;
+    }
+    entries_ = std::move(loaded);
+    promotions_ = promotions;
+    demotions_ = demotions;
+    return true;
 }
 
 } // namespace tcsim::bpred

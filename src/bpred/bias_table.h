@@ -18,6 +18,7 @@
 #define TCSIM_BPRED_BIAS_TABLE_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "common/stats.h"
@@ -77,18 +78,54 @@ class BranchBiasTable
         dump.add("bias_table.demotions", static_cast<double>(demotions_));
     }
 
+    /**
+     * Serialize the training state (tags, counts, promoted bits) for
+     * warm-start checkpoints. restore() rejects a blob whose geometry
+     * or threshold parameters differ from this table's.
+     */
+    void saveState(std::ostream &os) const;
+    bool restoreState(std::istream &is);
+
   private:
+    /**
+     * One table slot, packed to 16 bytes (4 per cache line vs. 2 for
+     * the naive bool-padded layout) so the open-addressed
+     * (direct-mapped, probe-free) lookup touches fewer lines. The
+     * consecutive-outcome count and the three flags share one word:
+     * count in bits [0,28), lastOutcome/promoted/promotedDir in bits
+     * 28/29/30. Counter semantics are unchanged.
+     */
     struct Entry
     {
-        Addr tag = kInvalidAddr;
-        bool lastOutcome = false;
-        std::uint32_t count = 0;
-        bool promoted = false;
-        bool promotedDir = false;
+        std::uint64_t tag = kNoTag;
+        std::uint32_t meta = 0;
+
+        static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
+        static constexpr std::uint32_t kCountMask = (1u << 28) - 1;
+        static constexpr std::uint32_t kLastOutcomeBit = 1u << 28;
+        static constexpr std::uint32_t kPromotedBit = 1u << 29;
+        static constexpr std::uint32_t kPromotedDirBit = 1u << 30;
+
+        std::uint32_t count() const { return meta & kCountMask; }
+        bool lastOutcome() const { return meta & kLastOutcomeBit; }
+        bool promoted() const { return meta & kPromotedBit; }
+        bool promotedDir() const { return meta & kPromotedDirBit; }
+
+        void
+        setCount(std::uint32_t count)
+        {
+            meta = (meta & ~kCountMask) | (count & kCountMask);
+        }
+        void
+        setFlag(std::uint32_t bit, bool value)
+        {
+            meta = value ? meta | bit : meta & ~bit;
+        }
     };
+    static_assert(sizeof(Entry) == 16, "four entries per cache line");
 
     std::uint32_t indexOf(Addr pc) const;
-    Addr tagOf(Addr pc) const;
+    std::uint64_t tagOf(Addr pc) const;
 
     BiasTableParams params_;
     std::uint32_t indexMask_; ///< entries - 1, hoisted

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Scalar binary stream I/O helpers shared by the checkpoint and
+ * program-image serializers (little-endian host layout; these
+ * artifacts are consumed on the machine that produced them or an
+ * identical fleet, not interchanged across architectures).
+ */
+
+#ifndef TCSIM_COMMON_BINIO_H
+#define TCSIM_COMMON_BINIO_H
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <type_traits>
+
+namespace tcsim::binio
+{
+
+template <typename T>
+void
+writeScalar(std::ostream &os, T value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    os.write(reinterpret_cast<const char *>(&value), sizeof(value));
+}
+
+template <typename T>
+bool
+readScalar(std::istream &is, T &value)
+{
+    static_assert(std::is_trivially_copyable_v<T>);
+    is.read(reinterpret_cast<char *>(&value), sizeof(value));
+    return static_cast<bool>(is);
+}
+
+/** Write @p magic (sized array, no terminator). */
+template <std::size_t N>
+void
+writeMagic(std::ostream &os, const char (&magic)[N])
+{
+    os.write(magic, N);
+}
+
+/** @return true when the stream yields exactly @p magic next. */
+template <std::size_t N>
+bool
+expectMagic(std::istream &is, const char (&magic)[N])
+{
+    char buf[N];
+    is.read(buf, N);
+    return is && std::memcmp(buf, magic, N) == 0;
+}
+
+} // namespace tcsim::binio
+
+#endif // TCSIM_COMMON_BINIO_H

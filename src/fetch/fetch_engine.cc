@@ -58,18 +58,20 @@ unsigned
 FetchEngine::predictedMatchLength(Addr pc,
                                   const trace::TraceSegment &segment) const
 {
+    // Compare the predicted path against the segment's embedded path
+    // word-wide: the block branches' builtTaken bits are packed into
+    // blockBranchDirs at insert, so the loop runs once per block
+    // branch (<= 3) against one u64 instead of scanning all 16
+    // instruction slots for the endsBlock markers.
     unsigned matched = 0;
-    unsigned position = 0;
     unsigned path_bits = 0;
     const std::uint64_t hist = state_.history.value();
-    for (const trace::TraceInst &ti : segment.insts) {
-        if (!ti.endsBlock)
-            continue;
-        const bool pred =
-            mbp_->predict(pc, hist, position, path_bits);
+    const std::uint64_t dirs = segment.blockBranchDirs;
+    for (unsigned position = 0; position < segment.numBlockBranches;
+         ++position) {
+        const bool pred = mbp_->predict(pc, hist, position, path_bits);
         path_bits |= static_cast<unsigned>(pred) << position;
-        ++position;
-        if (pred != ti.builtTaken)
+        if (pred != (((dirs >> position) & 1u) != 0))
             break;
         ++matched;
     }

@@ -140,6 +140,16 @@ struct SimResult
     double ipc = 0.0;
     double effectiveFetchRate = 0.0;
 
+    // Integer sources of the derived doubles above and below. The
+    // sweep merge layer re-derives every ratio from these at write
+    // time, so merged result documents are byte-identical no matter
+    // which process computed each entry.
+    std::uint64_t usefulFetches = 0;
+    std::uint64_t fetchedInsts = 0;
+    std::uint64_t resolutionTimeSum = 0;
+    std::uint64_t resolutionTimeCount = 0;
+    std::uint64_t fetchesNeedingPreds[4] = {};
+
     std::uint64_t condBranches = 0; ///< retired conditional branches
     std::uint64_t condMispredicts = 0; ///< incl. promoted faults
     std::uint64_t promotedFaults = 0;

@@ -83,6 +83,16 @@ struct ProcessorConfig
     std::uint32_t latDCacheHit = 2;
 };
 
+/**
+ * @return a stable FNV-1a fingerprint over every simulation-relevant
+ * field of @p config (the display name is excluded: two configs that
+ * simulate identically fingerprint identically). The sweep work-unit
+ * protocol folds this into unit content hashes so a changed preset
+ * invalidates previously computed fragments, and the artifact cache
+ * keys warmed predictor checkpoints with it.
+ */
+std::uint64_t configFingerprint(const ProcessorConfig &config);
+
 /** The paper's reference icache front end (128 KB, hybrid predictor). */
 ProcessorConfig icacheConfig();
 

@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstdio>
+#include <istream>
+#include <ostream>
 #include <tuple>
 
+#include "common/binio.h"
 #include "common/log.h"
+#include "core/rename_overlay.h"
 
 namespace tcsim::sim
 {
@@ -699,8 +703,10 @@ Processor::dispatchStage()
     if (nodeTables_.totalOccupied() + batch_size > rs_capacity)
         return;
 
-    Rat shadow;
-    bool shadow_active = false;
+    // Inactive-issue shadow rename context: a copy-on-write overlay
+    // over rat_ instead of a full RAT copy on fork (the tail beyond a
+    // divergence touches only a few registers).
+    core::RenameOverlay<RatEntry, isa::kNumArchRegs> shadow;
     const InstSeqNum group_start = nextSeq_;
 
     for (std::size_t i = 0; i < batch_size; ++i) {
@@ -732,11 +738,9 @@ Processor::dispatchStage()
         }
 
         // Inactive-issue shadow rename context.
-        if (!fi.active && !shadow_active) {
-            shadow = rat_;
-            shadow_active = true;
-        }
-        Rat &rat = shadow_active && !fi.active ? shadow : rat_;
+        const bool use_shadow = !fi.active;
+        if (use_shadow && !shadow.active())
+            shadow.fork(rat_);
 
         // Source renaming.
         const bool reads[2] = {isa::readsRs1(fi.inst),
@@ -747,7 +751,8 @@ Processor::dispatchStage()
             di.srcVal[op] = 0;
             if (!reads[op] || regs[op] == isa::kRegZero)
                 continue;
-            const RatEntry &entry = rat[regs[op]];
+            const RatEntry &entry = use_shadow ? shadow.get(regs[op])
+                                               : rat_[regs[op]];
             if (entry.isValue) {
                 di.srcVal[op] = entry.value;
             } else {
@@ -766,7 +771,11 @@ Processor::dispatchStage()
 
         // Destination renaming.
         if (isa::writesReg(fi.inst)) {
-            rat[fi.inst.rd] = RatEntry{false, 0, di.seq};
+            const RatEntry renamed{false, 0, di.seq};
+            if (use_shadow)
+                shadow.set(fi.inst.rd, renamed);
+            else
+                rat_[fi.inst.rd] = renamed;
         }
 
         // Resources.
@@ -1867,6 +1876,55 @@ Processor::resetStats()
         fillUnit_->resetStats();
 }
 
+namespace
+{
+
+constexpr char kPredStateMagic[8] = {'T', 'C', 'P', 'R', 'E', 'D', 'v', '1'};
+
+} // namespace
+
+void
+Processor::exportPredictorState(std::ostream &os) const
+{
+    binio::writeMagic(os, kPredStateMagic);
+    binio::writeScalar<std::uint8_t>(os, mbp_ ? 1 : 0);
+    if (mbp_ != nullptr)
+        mbp_->saveState(os);
+    binio::writeScalar<std::uint8_t>(os, hybrid_ ? 1 : 0);
+    if (hybrid_ != nullptr)
+        hybrid_->saveState(os);
+    binio::writeScalar<std::uint8_t>(os, fillUnit_ ? 1 : 0);
+    if (fillUnit_ != nullptr)
+        fillUnit_->saveTrainingState(os);
+}
+
+bool
+Processor::importPredictorState(std::istream &is)
+{
+    if (!binio::expectMagic(is, kPredStateMagic))
+        return false;
+    std::uint8_t have_mbp = 0, have_hybrid = 0, have_bias = 0;
+    if (!binio::readScalar(is, have_mbp) ||
+        (have_mbp != 0) != (mbp_ != nullptr)) {
+        return false;
+    }
+    if (mbp_ != nullptr && !mbp_->restoreState(is))
+        return false;
+    if (!binio::readScalar(is, have_hybrid) ||
+        (have_hybrid != 0) != (hybrid_ != nullptr)) {
+        return false;
+    }
+    if (hybrid_ != nullptr && !hybrid_->restoreState(is))
+        return false;
+    if (!binio::readScalar(is, have_bias) ||
+        (have_bias != 0) != (fillUnit_ != nullptr)) {
+        return false;
+    }
+    if (fillUnit_ != nullptr && !fillUnit_->restoreTrainingState(is))
+        return false;
+    return true;
+}
+
 SimResult
 Processor::makeResult() const
 {
@@ -1896,6 +1954,13 @@ Processor::makeResult() const
             ? 0.0
             : static_cast<double>(resolutionTimeSum_) /
                   resolutionTimeCount_;
+
+    result.usefulFetches = accounting_.usefulFetches();
+    result.fetchedInsts = accounting_.fetchedInsts();
+    result.resolutionTimeSum = resolutionTimeSum_;
+    result.resolutionTimeCount = resolutionTimeCount_;
+    for (unsigned n = 0; n < 4; ++n)
+        result.fetchesNeedingPreds[n] = fetchesNeedingPreds_[n];
 
     const std::uint64_t useful = accounting_.usefulFetches();
     if (useful > 0) {

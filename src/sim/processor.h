@@ -35,6 +35,7 @@
 
 #include <array>
 #include <deque>
+#include <iosfwd>
 #include <utility>
 #include <memory>
 #include <vector>
@@ -94,6 +95,18 @@ class Processor
 
     /** Build the result snapshot (also done by run()). */
     SimResult makeResult() const;
+
+    /**
+     * Serialize the trainable predictor state (multiple branch
+     * predictor, hybrid predictor, fill-unit bias table) for
+     * warm-start checkpoints. importPredictorState() rejects a blob
+     * whose front-end organization or table geometry differs from
+     * this processor's configuration and returns false; on failure
+     * the processor must be discarded (components restored before the
+     * mismatch keep the imported state).
+     */
+    void exportPredictorState(std::ostream &os) const;
+    bool importPredictorState(std::istream &is);
 
     /**
      * Zero all statistics while keeping microarchitectural state

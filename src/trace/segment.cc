@@ -18,6 +18,20 @@ fillReasonName(FillReason reason)
     return "?";
 }
 
+void
+TraceSegment::packBranchMeta()
+{
+    std::uint64_t dirs = 0;
+    unsigned position = 0;
+    for (const TraceInst &ti : insts) {
+        if (!ti.endsBlock)
+            continue;
+        dirs |= static_cast<std::uint64_t>(ti.builtTaken) << position;
+        ++position;
+    }
+    blockBranchDirs = dirs;
+}
+
 std::string
 TraceSegment::toString() const
 {

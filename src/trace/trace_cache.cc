@@ -112,6 +112,9 @@ TraceCache::insert(TraceSegment segment)
 {
     TCSIM_ASSERT(!segment.empty());
     TCSIM_ASSERT(segment.size() <= kMaxSegmentInsts);
+    // Resident segments always carry packed branch metadata: the
+    // fetch engine's path compare reads blockBranchDirs, not insts.
+    segment.packBranchMeta();
     ++inserts_;
     ++tick_;
 

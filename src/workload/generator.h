@@ -21,6 +21,15 @@
 namespace tcsim::workload
 {
 
+/**
+ * Version of the generation algorithm, folded into cached program
+ * images' content keys. Bump whenever generateProgram() (or anything
+ * it calls, including the RNG and the builder's encoding) changes the
+ * bytes it emits for a fixed profile, so stale cached images are
+ * regenerated instead of silently reused.
+ */
+inline constexpr std::uint32_t kGeneratorVersion = 1;
+
 /** Generate the program described by @p profile. */
 Program generateProgram(const BenchmarkProfile &profile);
 

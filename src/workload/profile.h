@@ -109,6 +109,15 @@ struct BenchmarkProfile
     std::uint64_t defaultMaxInsts = 2'000'000;
 };
 
+/**
+ * @return a stable FNV-1a fingerprint over every generation-relevant
+ * field of @p profile (doubles hashed by bit pattern). Two profiles
+ * with equal fingerprints generate identical programs for a given
+ * generator version; the artifact cache and the sweep work-unit
+ * protocol both fold this into their content keys.
+ */
+std::uint64_t profileFingerprint(const BenchmarkProfile &profile);
+
 /** @return the 15-benchmark suite mirroring the paper's Table 1. */
 const std::vector<BenchmarkProfile> &benchmarkSuite();
 

@@ -13,6 +13,7 @@
 
 #include "workload/profile.h"
 
+#include "common/fnv.h"
 #include "common/log.h"
 
 namespace tcsim::workload
@@ -297,6 +298,37 @@ makeSuite()
 }
 
 } // namespace
+
+std::uint64_t
+profileFingerprint(const BenchmarkProfile &profile)
+{
+    // Every field participates; adding a profile knob without folding
+    // it in here would let two differing profiles share a fingerprint,
+    // so keep this list in sync with BenchmarkProfile.
+    std::uint64_t hash = fnv1aAppend(kFnvOffsetBasis, profile.name);
+    hash = fnv1aAppendScalar(hash, profile.seed);
+    hash = fnv1aAppendScalar(hash, profile.numFunctions);
+    hash = fnv1aAppendScalar(hash, profile.avgStatementsPerFunction);
+    hash = fnv1aAppendScalar(hash, profile.avgBlockSize);
+    hash = fnv1aAppendScalar(hash, profile.maxLoopDepth);
+    hash = fnv1aAppendScalar(hash, profile.loopProb);
+    hash = fnv1aAppendScalar(hash, profile.ifProb);
+    hash = fnv1aAppendScalar(hash, profile.callProb);
+    hash = fnv1aAppendScalar(hash, profile.switchProb);
+    hash = fnv1aAppendScalar(hash, profile.trapProb);
+    hash = fnv1aAppendScalar(hash, profile.avgTripCount);
+    hash = fnv1aAppendScalar(hash, profile.highTripFrac);
+    hash = fnv1aAppendScalar(hash, profile.highTripCount);
+    hash = fnv1aAppendScalar(hash, profile.fracNeverTaken);
+    hash = fnv1aAppendScalar(hash, profile.fracStronglyBiased);
+    hash = fnv1aAppendScalar(hash, profile.fracModeratelyBiased);
+    hash = fnv1aAppendScalar(hash, profile.loadFrac);
+    hash = fnv1aAppendScalar(hash, profile.storeFrac);
+    hash = fnv1aAppendScalar(hash, profile.dataWorkingSetKB);
+    hash = fnv1aAppendScalar(hash, profile.randomAccessFrac);
+    hash = fnv1aAppendScalar(hash, profile.defaultMaxInsts);
+    return hash;
+}
 
 const std::vector<BenchmarkProfile> &
 benchmarkSuite()

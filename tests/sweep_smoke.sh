@@ -1,0 +1,65 @@
+#!/bin/bash
+# End-to-end smoke test for the tcsim_sweep binary, driven by ctest:
+#
+#  1. cold single-process run (populates the artifact cache),
+#  2. warm rerun — must be byte-identical with every cache lookup a
+#     hit (hits change wall-clock only, never results),
+#  3. 2-shard run with worker 0 SIGKILLed after one unit, --check
+#     reporting the lost unit, a --worklist retry, and a --merge that
+#     must reproduce the single-process document byte for byte.
+#
+# Usage: sweep_smoke.sh <cmake-build-dir>
+set -eu
+
+bin="$1/tools/tcsim_sweep"
+[ -x "$bin" ] || { echo "missing binary: $bin" >&2; exit 1; }
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+margs=(--benchmarks compress,li --configs baseline,promotion-t64
+       --insts 20000 --warmup 5000 --cache-dir "$scratch/cache")
+
+echo "== cold single-process reference =="
+"$bin" "${margs[@]}" --out "$scratch/single.json"
+
+echo "== warm rerun: byte-identical, all hits =="
+"$bin" "${margs[@]}" --out "$scratch/warm.json" \
+       --timing-out "$scratch/timing.json"
+cmp "$scratch/single.json" "$scratch/warm.json"
+python3 - "$scratch/timing.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "tcsim-bench-timing-v1", doc["schema"]
+cache = doc["cache"]
+assert cache["enabled"], cache
+assert cache["hits"] > 0 and cache["misses"] == 0, cache
+EOF
+
+echo "== shard 0/2 with injected SIGKILL =="
+if "$bin" "${margs[@]}" --shard 0/2 \
+       --fragments-dir "$scratch/frags" --die-after 1; then
+    echo "worker 0 should have been killed" >&2
+    exit 1
+fi
+
+echo "== shard 1/2 runs to completion =="
+"$bin" "${margs[@]}" --shard 1/2 --fragments-dir "$scratch/frags"
+
+echo "== check reports the lost unit =="
+rc=0
+"$bin" "${margs[@]}" --check --fragments-dir "$scratch/frags" \
+       > "$scratch/missing.txt" || rc=$?
+[ "$rc" -eq 2 ] || { echo "expected check exit 2, got $rc" >&2; exit 1; }
+[ -s "$scratch/missing.txt" ] || { echo "no missing units listed" >&2; exit 1; }
+
+echo "== worklist retry fills the hole =="
+"$bin" "${margs[@]}" --worklist "$scratch/missing.txt" \
+       --fragments-dir "$scratch/frags"
+"$bin" "${margs[@]}" --check --fragments-dir "$scratch/frags"
+
+echo "== merge is byte-identical to single-process =="
+"$bin" "${margs[@]}" --merge --fragments-dir "$scratch/frags" \
+       --out "$scratch/merged.json"
+cmp "$scratch/single.json" "$scratch/merged.json"
+
+echo "sweep smoke OK"

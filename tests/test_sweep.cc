@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for the sharded sweep engine: stable unit enumeration and
+ * content hashing, the byte-identity of a sharded merge against the
+ * single-process document, and the merge layer's classification of
+ * missing, stale and corrupt fragments.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/sweep.h"
+#include "sim/config.h"
+
+namespace
+{
+
+using namespace tcsim;
+using namespace tcsim::bench;
+
+SweepOptions
+smallMatrix()
+{
+    SweepOptions options;
+    options.benchmarks = {"compress", "li"};
+    options.configs = {sim::baselineConfig(), sim::promotionConfig(64)};
+    options.insts = 8000;
+    return options;
+}
+
+TEST(SweepUnits, EnumerationIsStableAndConfigMajor)
+{
+    const SweepOptions options = smallMatrix();
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+    ASSERT_EQ(units.size(), 4u);
+    // Config-major, matching sweepMatrix: all benchmarks of config 0
+    // first, so fragments line up with the exhibit tables.
+    EXPECT_EQ(units[0].benchmark, "compress");
+    EXPECT_EQ(units[1].benchmark, "li");
+    EXPECT_EQ(units[0].config.name, units[1].config.name);
+    EXPECT_EQ(units[2].benchmark, "compress");
+    EXPECT_NE(units[0].config.name, units[2].config.name);
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        EXPECT_EQ(units[i].index, i);
+        EXPECT_EQ(units[i].id, units[i].benchmark + "@" +
+                                   units[i].config.name + "@8000");
+        EXPECT_EQ(units[i].hash.size(), 16u);
+    }
+    // A second enumeration reproduces ids and hashes exactly.
+    const std::vector<WorkUnit> again = enumerateUnits(options);
+    ASSERT_EQ(again.size(), units.size());
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        EXPECT_EQ(again[i].id, units[i].id);
+        EXPECT_EQ(again[i].hash, units[i].hash);
+    }
+    EXPECT_EQ(matrixHash(again), matrixHash(units));
+}
+
+TEST(SweepUnits, HashTracksEveryResultInput)
+{
+    const SweepOptions base = smallMatrix();
+    const std::vector<WorkUnit> units = enumerateUnits(base);
+
+    SweepOptions warmed = base;
+    warmed.warmup = 5000;
+    const std::vector<WorkUnit> warmed_units = enumerateUnits(warmed);
+    ASSERT_EQ(warmed_units.size(), units.size());
+    for (std::size_t i = 0; i < units.size(); ++i)
+        EXPECT_NE(warmed_units[i].hash, units[i].hash);
+
+    SweepOptions retuned = base;
+    retuned.configs[0].fetchWidth += 1; // any behavioral config change
+    const std::vector<WorkUnit> retuned_units = enumerateUnits(retuned);
+    EXPECT_NE(retuned_units[0].hash, units[0].hash);
+    // Units of the untouched config keep their hashes.
+    EXPECT_EQ(retuned_units[2].hash, units[2].hash);
+}
+
+TEST(SweepUnits, ConfigByNameResolvesPresets)
+{
+    for (const char *name :
+         {"icache", "baseline", "promotion-t64", "promotion-t16",
+          "packing-atomic", "packing-cost-regulated",
+          "promo-pack-n-regulated", "promo-pack-unregulated"}) {
+        const auto config = configByName(name);
+        ASSERT_TRUE(config.has_value()) << name;
+        EXPECT_EQ(config->name, name);
+    }
+    EXPECT_FALSE(configByName("nonsense").has_value());
+    EXPECT_FALSE(configByName("promotion-t").has_value());
+    EXPECT_FALSE(configByName("packing-bogus").has_value());
+}
+
+class SweepMergeTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = testing::TempDir() + "/tcsim_sweep_test_fragments";
+        std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string dir_;
+};
+
+TEST_F(SweepMergeTest, TwoShardMergeIsByteIdentical)
+{
+    // The tentpole guarantee: fragments written by independent
+    // "shards" merge into exactly the bytes the single-process path
+    // renders — because both funnel through the one canonical
+    // renderer on the same deterministic integers.
+    const SweepOptions options = smallMatrix();
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+
+    std::vector<ResultIntegers> integers;
+    for (const WorkUnit &unit : units)
+        integers.push_back(integersOf(executeUnit(unit)));
+    const std::string single = renderResultsDoc(units, integers);
+
+    // Shard round-robin, as `tcsim_sweep --shard i/2` does.
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        UnitTiming timing;
+        timing.wallSeconds = 0.125 * static_cast<double>(i + 1);
+        ASSERT_TRUE(writeFragment(dir_, units[i], integers[i], timing));
+    }
+
+    MergeReport report;
+    const auto merged = mergeFragments(options, dir_, report);
+    ASSERT_TRUE(merged.has_value());
+    EXPECT_TRUE(report.complete());
+    EXPECT_TRUE(report.stale.empty());
+    EXPECT_TRUE(report.duplicates.empty());
+    EXPECT_EQ(*merged, single); // byte-identical
+}
+
+TEST_F(SweepMergeTest, ExecuteUnitIsDeterministic)
+{
+    const std::vector<WorkUnit> units = enumerateUnits(smallMatrix());
+    const ResultIntegers a = integersOf(executeUnit(units[0]));
+    const ResultIntegers b = integersOf(executeUnit(units[0]));
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.condMispredicts, b.condMispredicts);
+    EXPECT_EQ(a.tcHits, b.tcHits);
+    EXPECT_GE(a.instructions, 8000u);
+}
+
+TEST_F(SweepMergeTest, MissingFragmentsReported)
+{
+    const SweepOptions options = smallMatrix();
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+    const ResultIntegers integers = integersOf(executeUnit(units[0]));
+    ASSERT_TRUE(writeFragment(dir_, units[0], integers, UnitTiming{}));
+
+    MergeReport report;
+    EXPECT_FALSE(mergeFragments(options, dir_, report).has_value());
+    EXPECT_FALSE(report.complete());
+    ASSERT_EQ(report.missing.size(), units.size() - 1);
+    EXPECT_EQ(report.missing[0], units[1].id);
+}
+
+TEST_F(SweepMergeTest, StaleFragmentsSkippedButMergeCompletes)
+{
+    // A fragment from yesterday's matrix (different warm-up, so a
+    // different content hash) must be ignored, not merged.
+    SweepOptions options = smallMatrix();
+    SweepOptions stale_options = options;
+    stale_options.warmup = 2000;
+    const WorkUnit stale_unit = enumerateUnits(stale_options)[0];
+    ASSERT_TRUE(writeFragment(dir_, stale_unit,
+                              integersOf(executeUnit(stale_unit)),
+                              UnitTiming{}));
+
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+    for (const WorkUnit &unit : units)
+        ASSERT_TRUE(writeFragment(dir_, unit,
+                                  integersOf(executeUnit(unit)),
+                                  UnitTiming{}));
+
+    MergeReport report;
+    const auto merged = mergeFragments(options, dir_, report);
+    ASSERT_TRUE(merged.has_value());
+    ASSERT_EQ(report.stale.size(), 1u);
+    EXPECT_EQ(report.stale[0], fragmentPath(dir_, stale_unit));
+}
+
+TEST_F(SweepMergeTest, CorruptFragmentsBlockTheMerge)
+{
+    const SweepOptions options = smallMatrix();
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+    for (const WorkUnit &unit : units)
+        ASSERT_TRUE(writeFragment(dir_, unit,
+                                  integersOf(executeUnit(unit)),
+                                  UnitTiming{}));
+
+    // Garbage that still ends in .json: classified corrupt, and a
+    // corrupt file makes the merge refuse rather than guess.
+    {
+        std::ofstream out(dir_ + "/garbage.json");
+        out << "{ not json";
+    }
+    MergeReport report;
+    EXPECT_FALSE(mergeFragments(options, dir_, report).has_value());
+    ASSERT_EQ(report.corrupt.size(), 1u);
+    EXPECT_EQ(report.corrupt[0], dir_ + "/garbage.json");
+    EXPECT_TRUE(report.missing.empty());
+}
+
+TEST_F(SweepMergeTest, RenamedFragmentIsCorruptNotTrusted)
+{
+    // The filename stem must match the embedded hash; a renamed file
+    // cannot claim another unit's slot.
+    const SweepOptions options = smallMatrix();
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+    ASSERT_TRUE(writeFragment(dir_, units[0],
+                              integersOf(executeUnit(units[0])),
+                              UnitTiming{}));
+    std::filesystem::rename(fragmentPath(dir_, units[0]),
+                            fragmentPath(dir_, units[1]));
+
+    MergeReport report;
+    EXPECT_FALSE(mergeFragments(options, dir_, report).has_value());
+    ASSERT_EQ(report.corrupt.size(), 1u);
+    EXPECT_EQ(report.corrupt[0], fragmentPath(dir_, units[1]));
+}
+
+} // namespace

@@ -1,0 +1,407 @@
+/**
+ * @file
+ * tcsim_sweep: the sharded sweep driver.
+ *
+ * One binary, four modes over the same deterministically enumerated
+ * (benchmark, configuration) work-unit matrix:
+ *
+ *   tcsim_sweep --list
+ *       Print every work unit (index, content hash, id) plus the
+ *       matrix hash, without simulating.
+ *
+ *   tcsim_sweep [--shard i/N | --worklist <file>] --fragments-dir <dir>
+ *       Worker mode: simulate the selected units (all units when
+ *       neither selector is given and no --out is set... see below)
+ *       and write one atomic "<hash>.json" fragment per unit.
+ *
+ *   tcsim_sweep --out <file>
+ *       Single-process mode: simulate the whole matrix in-process and
+ *       write the canonical tcsim-bench-results-v1 document. Byte-
+ *       identical to sharding the same matrix and merging.
+ *
+ *   tcsim_sweep --merge --fragments-dir <dir> --out <file>
+ *       Combine fragments into the canonical results document.
+ *       Reports stale/duplicate/corrupt fragments and fails (exit 2)
+ *       listing missing units when the matrix is not fully covered.
+ *
+ *   tcsim_sweep --check --fragments-dir <dir>
+ *       Like --merge but writes nothing: prints the hashes of missing
+ *       units to stdout (one per line, consumed by run_benches.sh to
+ *       build retry worklists); exit 0 when complete, 2 otherwise.
+ *
+ * Matrix options (must match between workers and the merger):
+ *   --benchmarks a,b,c   subset of the suite (default: all)
+ *   --configs x,y        preset names (default: icache, baseline,
+ *                        promotion-t64, packing-unregulated,
+ *                        promo-pack-unregulated)
+ *   --insts <n>          per-unit budget (default: profile default)
+ *   --warmup <n>         predictor warm-up instructions; warmed
+ *                        predictor state is cached and imported into a
+ *                        fresh processor (0 = cold start)
+ *
+ * Artifact cache:
+ *   --cache-dir <dir>    content-addressed cache for program images
+ *                        and warmed predictor checkpoints (also via
+ *                        TCSIM_CACHE_DIR)
+ *   --no-cache           disable the cache even if the env var is set
+ *
+ * Diagnostics / testing:
+ *   --timing-out <file>  non-canonical timing+cache-stats JSON
+ *                        (tcsim-bench-timing-v1)
+ *   --die-after <k>      worker raises SIGKILL after k units complete
+ *                        (crash-recovery testing)
+ */
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench/artifact_cache.h"
+#include "bench/sweep.h"
+
+namespace
+{
+
+using namespace tcsim;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s [--list | --shard i/N | --worklist f | "
+                 "--merge | --check]\n"
+                 "  [--fragments-dir d] [--out f] [--benchmarks a,b] "
+                 "[--configs x,y]\n"
+                 "  [--insts n] [--warmup n] [--cache-dir d] "
+                 "[--no-cache]\n"
+                 "  [--timing-out f] [--die-after k]\n",
+                 argv0);
+    std::exit(1);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > start)
+            out.push_back(text.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    if (path == "-") {
+        std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+        return true;
+    }
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+void
+printReport(const bench::MergeReport &report)
+{
+    for (const std::string &file : report.stale)
+        std::fprintf(stderr, "stale fragment: %s\n", file.c_str());
+    for (const std::string &file : report.duplicates)
+        std::fprintf(stderr, "duplicate fragment: %s\n", file.c_str());
+    for (const std::string &file : report.corrupt)
+        std::fprintf(stderr, "corrupt fragment: %s\n", file.c_str());
+    for (const std::string &id : report.missing)
+        std::fprintf(stderr, "missing unit: %s\n", id.c_str());
+}
+
+struct TimedUnit
+{
+    const bench::WorkUnit *unit = nullptr;
+    double wallSeconds = 0.0;
+};
+
+void
+writeTimingDoc(const std::string &path,
+               const std::vector<TimedUnit> &timed, double total_seconds)
+{
+    const bench::ArtifactCacheStats cache =
+        bench::ArtifactCache::process().stats();
+    std::string out = "{\n";
+    out += "  \"schema\": \"tcsim-bench-timing-v1\",\n";
+    out += "  \"total_wall_seconds\": " +
+           std::to_string(total_seconds) + ",\n";
+    out += "  \"cache\": {\n";
+    out += "    \"enabled\": ";
+    out += bench::ArtifactCache::process().enabled() ? "true" : "false";
+    out += ",\n";
+    out += "    \"hits\": " + std::to_string(cache.hits) + ",\n";
+    out += "    \"misses\": " + std::to_string(cache.misses) + ",\n";
+    out += "    \"stores\": " + std::to_string(cache.stores) + ",\n";
+    out += "    \"rejected\": " + std::to_string(cache.rejected) + "\n";
+    out += "  },\n";
+    out += "  \"units\": [\n";
+    for (std::size_t i = 0; i < timed.size(); ++i) {
+        out += "    {\"id\": \"" + timed[i].unit->id + "\", ";
+        out += "\"hash\": \"" + timed[i].unit->hash + "\", ";
+        out += "\"wall_seconds\": " +
+               std::to_string(timed[i].wallSeconds) + "}";
+        out += i + 1 < timed.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    if (!writeFileAtomic(path, out))
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool list = false, merge = false, check = false;
+    int shard_index = -1, shard_count = 0;
+    std::string worklist_path, fragments_dir, out_path, timing_out;
+    long die_after = -1;
+    bool no_cache = false;
+    bench::SweepOptions options;
+    std::vector<std::string> config_names;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--list") {
+            list = true;
+        } else if (arg == "--merge") {
+            merge = true;
+        } else if (arg == "--check") {
+            check = true;
+        } else if (arg == "--shard") {
+            if (std::sscanf(next(), "%d/%d", &shard_index,
+                            &shard_count) != 2 ||
+                shard_count <= 0 || shard_index < 0 ||
+                shard_index >= shard_count) {
+                std::fprintf(stderr, "bad --shard (want i/N)\n");
+                return 1;
+            }
+        } else if (arg == "--worklist") {
+            worklist_path = next();
+        } else if (arg == "--fragments-dir") {
+            fragments_dir = next();
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--benchmarks") {
+            options.benchmarks = splitCommas(next());
+        } else if (arg == "--configs") {
+            config_names = splitCommas(next());
+        } else if (arg == "--insts") {
+            options.insts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            options.warmup = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--cache-dir") {
+            setenv("TCSIM_CACHE_DIR", next(), 1);
+        } else if (arg == "--no-cache") {
+            no_cache = true;
+        } else if (arg == "--timing-out") {
+            timing_out = next();
+        } else if (arg == "--die-after") {
+            die_after = std::strtol(next(), nullptr, 10);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (no_cache)
+        unsetenv("TCSIM_CACHE_DIR");
+
+    for (const std::string &name : config_names) {
+        std::optional<sim::ProcessorConfig> config =
+            bench::configByName(name);
+        if (!config) {
+            std::fprintf(stderr, "unknown config '%s'\n", name.c_str());
+            return 1;
+        }
+        options.configs.push_back(std::move(*config));
+    }
+
+    const std::vector<bench::WorkUnit> units =
+        bench::enumerateUnits(options);
+
+    if (list) {
+        std::printf("matrix %s (%zu units)\n",
+                    bench::matrixHash(units).c_str(), units.size());
+        for (const bench::WorkUnit &unit : units)
+            std::printf("%4u  %s  %s\n", unit.index, unit.hash.c_str(),
+                        unit.id.c_str());
+        return 0;
+    }
+
+    if (merge || check) {
+        if (fragments_dir.empty()) {
+            std::fprintf(stderr, "--%s needs --fragments-dir\n",
+                         merge ? "merge" : "check");
+            return 1;
+        }
+        bench::MergeReport report;
+        const std::optional<std::string> doc =
+            bench::mergeFragments(options, fragments_dir, report);
+        printReport(report);
+        if (check) {
+            // Missing hashes on stdout: the launcher's retry worklist.
+            for (const bench::WorkUnit &unit : units) {
+                for (const std::string &id : report.missing) {
+                    if (id == unit.id)
+                        std::printf("%s\n", unit.hash.c_str());
+                }
+            }
+            return report.complete() ? 0 : 2;
+        }
+        if (!doc)
+            return 2;
+        if (out_path.empty())
+            out_path = "-";
+        if (!writeFileAtomic(out_path, *doc)) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 3;
+        }
+        return 0;
+    }
+
+    // Worker / single-process execution modes.
+    std::vector<const bench::WorkUnit *> selected;
+    if (shard_count > 0) {
+        for (const bench::WorkUnit &unit : units) {
+            if (unit.index % static_cast<unsigned>(shard_count) ==
+                static_cast<unsigned>(shard_index)) {
+                selected.push_back(&unit);
+            }
+        }
+    } else if (!worklist_path.empty()) {
+        std::ifstream in(worklist_path);
+        if (!in) {
+            std::fprintf(stderr, "cannot read %s\n",
+                         worklist_path.c_str());
+            return 1;
+        }
+        std::string line;
+        while (std::getline(in, line)) {
+            while (!line.empty() &&
+                   (line.back() == '\r' || line.back() == ' '))
+                line.pop_back();
+            if (line.empty() || line[0] == '#')
+                continue;
+            const bench::WorkUnit *found = nullptr;
+            for (const bench::WorkUnit &unit : units) {
+                if (unit.hash == line || unit.id == line) {
+                    found = &unit;
+                    break;
+                }
+            }
+            if (found == nullptr) {
+                std::fprintf(stderr,
+                             "worklist entry '%s' is not in the matrix\n",
+                             line.c_str());
+                return 1;
+            }
+            selected.push_back(found);
+        }
+    } else {
+        for (const bench::WorkUnit &unit : units)
+            selected.push_back(&unit);
+    }
+
+    const bool sharded = shard_count > 0 || !worklist_path.empty();
+    if (sharded && fragments_dir.empty()) {
+        std::fprintf(stderr, "worker modes need --fragments-dir\n");
+        return 1;
+    }
+
+    using Clock = std::chrono::steady_clock;
+    const Clock::time_point run_start = Clock::now();
+    std::vector<bench::ResultIntegers> integers;
+    std::vector<TimedUnit> timed;
+    long completed = 0;
+    for (const bench::WorkUnit *unit : selected) {
+        std::fprintf(stderr, "[%ld/%zu] %s\n", completed + 1,
+                     selected.size(), unit->id.c_str());
+        const bench::ArtifactCacheStats before =
+            bench::ArtifactCache::process().stats();
+        const Clock::time_point start = Clock::now();
+        const sim::SimResult result = bench::executeUnit(*unit);
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        const bench::ArtifactCacheStats after =
+            bench::ArtifactCache::process().stats();
+
+        const bench::ResultIntegers n = bench::integersOf(result);
+        if (!fragments_dir.empty()) {
+            bench::UnitTiming timing;
+            timing.wallSeconds = seconds;
+            timing.cacheHits = after.hits - before.hits;
+            timing.cacheMisses = after.misses - before.misses;
+            if (!bench::writeFragment(fragments_dir, *unit, n, timing)) {
+                std::fprintf(stderr, "cannot write fragment for %s\n",
+                             unit->id.c_str());
+                return 3;
+            }
+        }
+        integers.push_back(n);
+        timed.push_back({unit, seconds});
+        ++completed;
+        if (die_after >= 0 && completed >= die_after) {
+            // Crash-recovery testing: die the hard way, mid-sweep,
+            // with no destructors or atexit handlers.
+            std::fprintf(stderr, "--die-after %ld: raising SIGKILL\n",
+                         die_after);
+            raise(SIGKILL);
+        }
+    }
+    const double total_seconds =
+        std::chrono::duration<double>(Clock::now() - run_start).count();
+
+    if (!sharded && !out_path.empty()) {
+        const std::string doc = bench::renderResultsDoc(units, integers);
+        if (!writeFileAtomic(out_path, doc)) {
+            std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+            return 3;
+        }
+    }
+    if (!timing_out.empty())
+        writeTimingDoc(timing_out, timed, total_seconds);
+
+    const bench::ArtifactCacheStats cache =
+        bench::ArtifactCache::process().stats();
+    std::fprintf(stderr,
+                 "done: %ld units in %.2fs (cache: %llu hits, %llu "
+                 "misses, %llu stores, %llu rejected)\n",
+                 completed, total_seconds,
+                 static_cast<unsigned long long>(cache.hits),
+                 static_cast<unsigned long long>(cache.misses),
+                 static_cast<unsigned long long>(cache.stores),
+                 static_cast<unsigned long long>(cache.rejected));
+    return 0;
+}

@@ -6,6 +6,8 @@ Checks any combination of:
                        t (int), cat (known category), ev, detail
   --chrome PATH        Chrome trace_event JSON: {"traceEvents": [...]}
   --intervals PATH     tcsim-intervals-v1 document
+  --fragment PATH      tcsim-bench-fragment-v1 sweep work-unit fragment
+  --results PATH       tcsim-bench-results-v1 merged sweep document
 
 Exits 0 when every named file validates, 1 otherwise.
 """
@@ -138,13 +140,127 @@ def validate_intervals(path):
     return True
 
 
+# Canonical sweep result record: key -> "int" | "float" | "str".
+# Array-valued members are checked structurally below.
+RESULT_SCALARS = {
+    "benchmark": "str", "config": "str", "insts": "int", "warmup": "int",
+    "hash": "str", "instructions": "int", "cycles": "int", "ipc": "float",
+    "useful_fetches": "int", "fetched_insts": "int",
+    "effective_fetch_rate": "float", "cond_branches": "int",
+    "cond_mispredicts": "int", "promoted_faults": "int",
+    "indirect_mispredicts": "int", "cond_mispredict_rate": "float",
+    "resolution_time_sum": "int", "resolution_time_count": "int",
+    "mean_resolution_time": "float", "fetches_needing_01": "float",
+    "fetches_needing_2": "float", "fetches_needing_3": "float",
+    "tc_lookups": "int", "tc_hits": "int", "tc_hit_ratio": "float",
+    "icache_misses": "int", "promoted_retired": "int",
+}
+
+RESULT_ARRAYS = {"fetches_needing_preds", "cycle_cat", "fetch_hist"}
+
+
+def check_result_record(path, where, record):
+    if not isinstance(record, dict):
+        return fail(path, f"{where}: not an object")
+    expected = set(RESULT_SCALARS) | RESULT_ARRAYS
+    if set(record) != expected:
+        diff = expected.symmetric_difference(record)
+        return fail(path, f"{where}: keys differ: {sorted(diff)}")
+    for key, kind in RESULT_SCALARS.items():
+        value = record[key]
+        if kind == "int" and not isinstance(value, int):
+            return fail(path, f"{where}: {key} not an integer")
+        if kind == "float" and not isinstance(value, (int, float)):
+            return fail(path, f"{where}: {key} not a number")
+        if kind == "str" and not isinstance(value, str):
+            return fail(path, f"{where}: {key} not a string")
+    if len(record["hash"]) != 16:
+        return fail(path, f"{where}: hash not 16 hex chars")
+    if not isinstance(record["fetches_needing_preds"], list) or \
+            len(record["fetches_needing_preds"]) != 4:
+        return fail(path, f"{where}: fetches_needing_preds shape")
+    if not isinstance(record["cycle_cat"], list):
+        return fail(path, f"{where}: cycle_cat not an array")
+    hist = record["fetch_hist"]
+    if not isinstance(hist, list) or \
+            any(not isinstance(row, list) for row in hist):
+        return fail(path, f"{where}: fetch_hist not an array of arrays")
+    if record["tc_hits"] > record["tc_lookups"]:
+        return fail(path, f"{where}: tc_hits > tc_lookups")
+    if record["cond_mispredicts"] > record["cond_branches"]:
+        return fail(path, f"{where}: mispredicts > branches")
+    if record["instructions"] < record["insts"]:
+        return fail(path, f"{where}: ran fewer insts than budgeted")
+    return True
+
+
+def validate_fragment(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-bench-fragment-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    unit = doc.get("unit")
+    if not isinstance(unit, dict):
+        return fail(path, "missing unit object")
+    for key in ("index", "id", "hash", "benchmark", "config", "insts",
+                "warmup"):
+        if key not in unit:
+            return fail(path, f"unit missing {key}")
+    expected_id = f"{unit['benchmark']}@{unit['config']}@{unit['insts']}"
+    if unit["id"] != expected_id:
+        return fail(path, f"unit id {unit['id']!r} != {expected_id!r}")
+    if not check_result_record(path, "result", doc.get("result")):
+        return False
+    if doc["result"]["hash"] != unit["hash"]:
+        return fail(path, "result hash != unit hash")
+    timing = doc.get("timing")
+    if not isinstance(timing, dict) or \
+            set(timing) != {"wall_seconds", "cache_hits", "cache_misses"}:
+        return fail(path, "missing or malformed timing section")
+    print(f"validate_obs: {path}: OK (fragment {unit['id']})")
+    return True
+
+
+def validate_results(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-bench-results-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    matrix_hash = doc.get("matrix_hash")
+    if not isinstance(matrix_hash, str) or len(matrix_hash) != 16:
+        return fail(path, f"bad matrix_hash {matrix_hash!r}")
+    results = doc.get("results")
+    if not isinstance(results, list) or not results:
+        return fail(path, "missing or empty results")
+    if doc.get("units") != len(results):
+        return fail(path, f"units {doc.get('units')!r} != {len(results)}")
+    seen = set()
+    for i, record in enumerate(results):
+        if not check_result_record(path, f"result {i}", record):
+            return False
+        if record["hash"] in seen:
+            return fail(path, f"result {i}: duplicate unit {record['hash']}")
+        seen.add(record["hash"])
+    print(f"validate_obs: {path}: OK ({len(results)} results)")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace-jsonl", action="append", default=[])
     parser.add_argument("--chrome", action="append", default=[])
     parser.add_argument("--intervals", action="append", default=[])
+    parser.add_argument("--fragment", action="append", default=[])
+    parser.add_argument("--results", action="append", default=[])
     args = parser.parse_args()
-    if not (args.trace_jsonl or args.chrome or args.intervals):
+    if not (args.trace_jsonl or args.chrome or args.intervals
+            or args.fragment or args.results):
         parser.error("nothing to validate")
     ok = True
     for path in args.trace_jsonl:
@@ -153,6 +269,10 @@ def main():
         ok &= validate_chrome(path)
     for path in args.intervals:
         ok &= validate_intervals(path)
+    for path in args.fragment:
+        ok &= validate_fragment(path)
+    for path in args.results:
+        ok &= validate_results(path)
     return 0 if ok else 1
 
 
