@@ -6,6 +6,7 @@
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <string_view>
 
 #include "bench/artifact_cache.h"
 #include "bench/harness.h"
@@ -282,6 +283,18 @@ defaultSweepConfigs()
 std::optional<sim::ProcessorConfig>
 configByName(const std::string &name)
 {
+    // A "+mem" suffix layers the contended-DRAM memory model (default
+    // DramParams) over any base config, e.g. "baseline+mem".
+    constexpr std::string_view mem_suffix = "+mem";
+    if (name.size() > mem_suffix.size() &&
+        name.compare(name.size() - mem_suffix.size(), mem_suffix.size(),
+                     mem_suffix) == 0) {
+        auto base = configByName(
+            name.substr(0, name.size() - mem_suffix.size()));
+        if (!base)
+            return std::nullopt;
+        return sim::withContendedMemory(std::move(*base));
+    }
     if (name == "icache")
         return sim::icacheConfig();
     if (name == "baseline")

@@ -85,7 +85,7 @@ FetchEngine::fullyMatches(Addr pc, const trace::TraceSegment &segment) const
 }
 
 void
-FetchEngine::fetchCycle(Addr pc, FetchBatch &out)
+FetchEngine::fetchCycle(Addr pc, FetchBatch &out, Cycle now)
 {
     out.clear();
     if (params_.useTraceCache) {
@@ -117,7 +117,7 @@ FetchEngine::fetchCycle(Addr pc, FetchBatch &out)
             return;
         }
     }
-    fetchFromICache(pc, out);
+    fetchFromICache(pc, out, now);
 }
 
 void
@@ -247,12 +247,12 @@ FetchEngine::fetchFromSegment(Addr pc, const trace::TraceSegment &segment,
 }
 
 void
-FetchEngine::fetchFromICache(Addr pc, FetchBatch &out)
+FetchEngine::fetchFromICache(Addr pc, FetchBatch &out, Cycle now)
 {
     out.source = FetchSource::ICache;
 
     // First-line access: a miss stalls the front end.
-    const std::uint32_t stall = icache_.access(pc, false);
+    const std::uint32_t stall = icache_.access(pc, false, now);
     if (stall > 0) {
         out.icacheStall = stall;
         TCSIM_TPOINT(tracer_, Fetch, "icache_stall",

@@ -20,7 +20,7 @@ Cache::Cache(const CacheParams &params, Cache *next,
 }
 
 std::uint32_t
-Cache::access(Addr addr, bool write)
+Cache::access(Addr addr, bool write, Cycle now)
 {
     ++accesses_;
     ++tick_;
@@ -46,7 +46,9 @@ Cache::access(Addr addr, bool write)
                  static_cast<unsigned long long>(addr), write ? 1 : 0);
     std::uint32_t below;
     if (next_ != nullptr)
-        below = next_->access(addr, false);
+        below = next_->access(addr, false, now);
+    else if (dram_ != nullptr)
+        below = dram_->access(addr, false, params_.lineBytes, now);
     else
         below = memoryLatency_;
 
@@ -65,6 +67,20 @@ Cache::access(Addr addr, bool write)
         TCSIM_TPOINT(tracer_, Mem, "writeback", "%s victim_tag=0x%llx",
                      params_.name.c_str(),
                      static_cast<unsigned long long>(victim->tag));
+        if (params_.writebackToNext) {
+            // The victim's data must reach the next level (or memory):
+            // charge the traffic where it lands. The store lands after
+            // the demand fill, so it sees the post-miss cycle.
+            const Addr victim_addr = addrOfLine(victim->tag, set);
+            const Cycle wb_now = now + params_.accessLatency + below;
+            std::uint32_t wb_cost = 0;
+            if (next_ != nullptr)
+                wb_cost = next_->access(victim_addr, true, wb_now);
+            else if (dram_ != nullptr)
+                wb_cost = dram_->access(victim_addr, true,
+                                        params_.lineBytes, wb_now);
+            writebackCycles_ += wb_cost;
+        }
     }
     victim->valid = true;
     victim->tag = tag;
@@ -92,8 +108,15 @@ Cache::probe(Addr addr) const
 void
 Cache::flush()
 {
-    for (Line &line : lines_)
+    for (Line &line : lines_) {
+        if (line.valid && line.dirty) {
+            ++writebacks_;
+            TCSIM_TPOINT(tracer_, Mem, "flush_writeback",
+                         "%s victim_tag=0x%llx", params_.name.c_str(),
+                         static_cast<unsigned long long>(line.tag));
+        }
         line = Line{};
+    }
 }
 
 void
@@ -101,9 +124,11 @@ Cache::dumpStats(StatDump &dump) const
 {
     dump.add(params_.name + ".accesses", static_cast<double>(accesses_));
     dump.add(params_.name + ".misses", static_cast<double>(misses_));
-    dump.add(params_.name + ".miss_ratio", missRatio());
     dump.add(params_.name + ".writebacks",
              static_cast<double>(writebacks_));
+    if (params_.writebackToNext)
+        dump.add(params_.name + ".writeback_cycles",
+                 static_cast<double>(writebackCycles_));
 }
 
 void
@@ -112,6 +137,7 @@ Cache::resetStats()
     accesses_ = 0;
     misses_ = 0;
     writebacks_ = 0;
+    writebackCycles_ = 0;
 }
 
 } // namespace tcsim::memory

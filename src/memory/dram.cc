@@ -1,0 +1,156 @@
+#include "memory/dram.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace tcsim::memory
+{
+
+namespace
+{
+
+constexpr std::uint64_t kClosedRow = ~std::uint64_t{0};
+
+} // namespace
+
+Dram::Dram(const DramParams &params) : params_(params)
+{
+    if (params_.contended && params_.banks > 0) {
+        TCSIM_ASSERT(params_.rowBytes > 0, "rowBytes must be positive");
+        bankFreeAt_.assign(params_.banks, 0);
+        openRow_.assign(params_.banks, kClosedRow);
+    }
+    if (params_.contended && params_.maxOutstanding > 0)
+        inFlight_.reserve(params_.maxOutstanding);
+}
+
+std::uint32_t
+Dram::bankOf(Addr addr) const
+{
+    return static_cast<std::uint32_t>((addr / params_.rowBytes) %
+                                      params_.banks);
+}
+
+std::uint64_t
+Dram::rowOf(Addr addr) const
+{
+    return (addr / params_.rowBytes) / params_.banks;
+}
+
+std::uint32_t
+Dram::access(Addr addr, bool write, std::uint32_t bytes, Cycle now)
+{
+    if (write)
+        ++writes_;
+    else
+        ++reads_;
+
+    if (!params_.contended)
+        return params_.latency;
+
+    // MSHR-style outstanding-request limit: a full miss file delays the
+    // request until the oldest in-flight transfer completes.
+    Cycle start = now;
+    if (params_.maxOutstanding > 0) {
+        // Drop completed entries (completion at or before `start`).
+        inFlight_.erase(std::remove_if(inFlight_.begin(), inFlight_.end(),
+                                       [&](Cycle c) { return c <= start; }),
+                        inFlight_.end());
+        if (inFlight_.size() >= params_.maxOutstanding) {
+            const Cycle oldest =
+                *std::min_element(inFlight_.begin(), inFlight_.end());
+            ++mshrStalls_;
+            mshrStallCycles_ += oldest - start;
+            start = oldest;
+            inFlight_.erase(std::remove_if(
+                                inFlight_.begin(), inFlight_.end(),
+                                [&](Cycle c) { return c <= start; }),
+                            inFlight_.end());
+        }
+    }
+
+    // Bus occupancy: the transfer holds the data bus for its full
+    // serialization time; a busy bus queues the request.
+    std::uint32_t transfer_cycles = 0;
+    Cycle bus_start = start;
+    if (params_.busBytesPerCycle > 0) {
+        transfer_cycles =
+            (bytes + params_.busBytesPerCycle - 1) / params_.busBytesPerCycle;
+        bus_start = std::max(start, busFreeAt_);
+        busWaitCycles_ += bus_start - start;
+        busFreeAt_ = bus_start + transfer_cycles;
+        busBusyCycles_ += transfer_cycles;
+    }
+
+    // Bank occupancy and open-row state.
+    std::uint32_t core_latency = params_.latency;
+    Cycle bank_start = bus_start;
+    if (params_.banks > 0) {
+        const std::uint32_t bank = bankOf(addr);
+        const std::uint64_t row = rowOf(addr);
+        if (bankFreeAt_[bank] > bank_start) {
+            ++bankConflicts_;
+            bankWaitCycles_ += bankFreeAt_[bank] - bank_start;
+            bank_start = bankFreeAt_[bank];
+        }
+        if (openRow_[bank] == row) {
+            ++rowHits_;
+            core_latency = params_.rowHitLatency;
+        } else {
+            ++rowMisses_;
+            core_latency = params_.rowMissLatency;
+            openRow_[bank] = row;
+        }
+        bankFreeAt_[bank] = bank_start + core_latency;
+    }
+
+    const Cycle done = bank_start + core_latency + transfer_cycles;
+    if (params_.maxOutstanding > 0)
+        inFlight_.push_back(done);
+
+    TCSIM_TPOINT(tracer_, Mem, write ? "dram_write" : "dram_read",
+                 "addr=0x%llx wait=%llu lat=%llu",
+                 static_cast<unsigned long long>(addr),
+                 static_cast<unsigned long long>(bank_start - now),
+                 static_cast<unsigned long long>(done - now));
+    return static_cast<std::uint32_t>(done - now);
+}
+
+void
+Dram::dumpStats(StatDump &dump) const
+{
+    dump.add(params_.name + ".reads", static_cast<double>(reads_));
+    dump.add(params_.name + ".writes", static_cast<double>(writes_));
+    dump.add(params_.name + ".bus_wait_cycles",
+             static_cast<double>(busWaitCycles_));
+    dump.add(params_.name + ".bus_busy_cycles",
+             static_cast<double>(busBusyCycles_));
+    dump.add(params_.name + ".bank_conflicts",
+             static_cast<double>(bankConflicts_));
+    dump.add(params_.name + ".bank_wait_cycles",
+             static_cast<double>(bankWaitCycles_));
+    dump.add(params_.name + ".row_hits", static_cast<double>(rowHits_));
+    dump.add(params_.name + ".row_misses", static_cast<double>(rowMisses_));
+    dump.add(params_.name + ".mshr_stalls",
+             static_cast<double>(mshrStalls_));
+    dump.add(params_.name + ".mshr_stall_cycles",
+             static_cast<double>(mshrStallCycles_));
+}
+
+void
+Dram::resetStats()
+{
+    reads_ = 0;
+    writes_ = 0;
+    busWaitCycles_ = 0;
+    busBusyCycles_ = 0;
+    bankConflicts_ = 0;
+    bankWaitCycles_ = 0;
+    rowHits_ = 0;
+    rowMisses_ = 0;
+    mshrStalls_ = 0;
+    mshrStallCycles_ = 0;
+}
+
+} // namespace tcsim::memory

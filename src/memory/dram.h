@@ -1,0 +1,146 @@
+/**
+ * @file
+ * A contended main-memory model: a finite-bandwidth bus (busy-until
+ * occupancy) in front of N DRAM banks with open-row hit/miss
+ * latencies, plus an outstanding-request (MSHR-style) limit so the
+ * blocking-cache assumption of the surrounding hierarchy is an
+ * explicit, configurable contract.
+ *
+ * The default configuration (`contended == false`) reproduces the
+ * historical flat-latency backstop exactly: every access costs
+ * `latency` cycles, no occupancy state is touched, and no stats are
+ * emitted into dumps — so pre-existing golden results stay
+ * byte-identical until a config opts in.
+ *
+ * Timing is request-at-a-time, matching the blocking caches above it:
+ * each access is placed on the bus no earlier than the bus frees, then
+ * on its bank no earlier than the bank frees, and the returned latency
+ * is completion-minus-now. Overlap between requests therefore shows up
+ * as queueing delay for the later request, which is the property the
+ * paper-era literature (and the DRAMSim-style followups) identify as
+ * the thing a flat latency cannot express: a wider fetch engine's
+ * extra demand turns into bus/bank wait, not just more of the same
+ * 50-cycle charges.
+ */
+
+#ifndef TCSIM_MEMORY_DRAM_H
+#define TCSIM_MEMORY_DRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/types.h"
+#include "obs/trace.h"
+
+namespace tcsim::memory
+{
+
+/** Main-memory timing parameters. */
+struct DramParams
+{
+    std::string name = "dram";
+    /**
+     * Master switch. false = the legacy flat model: every access costs
+     * `latency` cycles regardless of load (the paper's ">= 50-cycle
+     * memory"). true = bus + bank occupancy below.
+     */
+    bool contended = false;
+    /** Flat-path latency; also the backstop when banks == 0. */
+    std::uint32_t latency = 50;
+    /**
+     * Data-bus bandwidth in bytes per cycle; a line occupies the bus
+     * for ceil(lineBytes / busBytesPerCycle) cycles. 0 = infinite
+     * bandwidth (no bus occupancy), the degenerate setting used to
+     * prove the contended path collapses to the flat one.
+     */
+    std::uint32_t busBytesPerCycle = 8;
+    /** Number of independent banks; 0 = unbanked (flat `latency` core
+     * access time, still behind the bus). */
+    std::uint32_t banks = 8;
+    /** Bytes per DRAM row (open page); addresses are striped across
+     * banks at row granularity. */
+    std::uint32_t rowBytes = 2048;
+    /** Core access time when the open row matches. */
+    std::uint32_t rowHitLatency = 20;
+    /** Core access time on a row miss (precharge + activate + CAS). */
+    std::uint32_t rowMissLatency = 50;
+    /**
+     * Outstanding-request limit (MSHR-style). A request arriving while
+     * this many earlier requests are still in flight waits for the
+     * oldest to complete before even reaching the bus. 0 = unlimited.
+     */
+    std::uint32_t maxOutstanding = 8;
+};
+
+/** The memory controller + DRAM device model. */
+class Dram
+{
+  public:
+    explicit Dram(const DramParams &params = DramParams{});
+
+    /**
+     * Perform one line-sized transfer starting no earlier than @p now.
+     * @param write true for writeback traffic from the last cache level
+     * @param bytes transfer size (the caller's line size)
+     * @return total cycles until the transfer completes, measured from
+     *         @p now (includes any MSHR/bus/bank queueing delay)
+     */
+    std::uint32_t access(Addr addr, bool write, std::uint32_t bytes,
+                         Cycle now);
+
+    bool contended() const { return params_.contended; }
+
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t busWaitCycles() const { return busWaitCycles_; }
+    std::uint64_t busBusyCycles() const { return busBusyCycles_; }
+    std::uint64_t bankConflicts() const { return bankConflicts_; }
+    std::uint64_t bankWaitCycles() const { return bankWaitCycles_; }
+    std::uint64_t rowHits() const { return rowHits_; }
+    std::uint64_t rowMisses() const { return rowMisses_; }
+    std::uint64_t mshrStalls() const { return mshrStalls_; }
+    std::uint64_t mshrStallCycles() const { return mshrStallCycles_; }
+
+    /** Append this device's statistics (integer counters only). */
+    void dumpStats(StatDump &dump) const;
+
+    void resetStats();
+
+    /** Attach a tracer for `mem` trace points (null disables). */
+    void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }
+
+    const std::string &name() const { return params_.name; }
+
+  private:
+    std::uint32_t bankOf(Addr addr) const;
+    std::uint64_t rowOf(Addr addr) const;
+
+    DramParams params_;
+
+    // Occupancy state (contended mode only).
+    Cycle busFreeAt_ = 0;
+    std::vector<Cycle> bankFreeAt_;
+    std::vector<std::uint64_t> openRow_; // per bank; ~0 = closed
+    /** Completion times of in-flight requests, unordered; bounded by
+     * maxOutstanding so the scan is a handful of elements. */
+    std::vector<Cycle> inFlight_;
+
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t busWaitCycles_ = 0;
+    std::uint64_t busBusyCycles_ = 0;
+    std::uint64_t bankConflicts_ = 0;
+    std::uint64_t bankWaitCycles_ = 0;
+    std::uint64_t rowHits_ = 0;
+    std::uint64_t rowMisses_ = 0;
+    std::uint64_t mshrStalls_ = 0;
+    std::uint64_t mshrStallCycles_ = 0;
+
+    obs::Tracer *tracer_ = nullptr;
+};
+
+} // namespace tcsim::memory
+
+#endif // TCSIM_MEMORY_DRAM_H

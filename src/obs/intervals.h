@@ -49,6 +49,10 @@ struct IntervalCounters {
     std::uint64_t icacheMisses = 0;
     std::uint64_t predictionsUsed = 0;   ///< MBP slots consumed by fetches
     std::uint64_t memOrderViolations = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t writebacks = 0;        ///< all cache levels combined
+    std::uint64_t dramBusWaitCycles = 0; ///< contended model only
+    std::uint64_t dramMshrStallCycles = 0; ///< contended model only
 };
 
 /**

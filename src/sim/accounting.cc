@@ -1,5 +1,7 @@
 #include "sim/accounting.h"
 
+#include <iomanip>
+
 namespace tcsim::sim
 {
 
@@ -29,6 +31,29 @@ fetchReasonName(FetchReason reason)
       case FetchReason::RetIndirTrap: return "Ret,Indir,Trap";
       case FetchReason::MaximumBRs: return "MaximumBRs";
       default: return "?";
+    }
+}
+
+void
+printStatsWithDerivedRatios(const StatDump &dump, std::ostream &os)
+{
+    const auto emit = [&os](const std::string &name, double value) {
+        os << std::left << std::setw(44) << name << " "
+           << std::setprecision(6) << value << "\n";
+    };
+    const auto &entries = dump.entries();
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+        const auto &[name, value] = entries[i];
+        emit(name, value);
+        const auto dot = name.rfind('.');
+        if (dot == std::string::npos ||
+            name.compare(dot, std::string::npos, ".misses") != 0 || i == 0)
+            continue;
+        const std::string prefix = name.substr(0, dot);
+        const auto &[prev_name, accesses] = entries[i - 1];
+        if (prev_name == prefix + ".accesses")
+            emit(prefix + ".miss_ratio",
+                 accesses == 0.0 ? 0.0 : value / accesses);
     }
 }
 

@@ -13,6 +13,7 @@
 
 #include <array>
 #include <cstdint>
+#include <ostream>
 #include <string>
 
 #include "common/stats.h"
@@ -177,6 +178,14 @@ struct SimResult
     /** Full stat dump for detailed inspection. */
     StatDump stats;
 };
+
+/**
+ * Render @p dump as "name value" lines in StatDump::print format,
+ * re-deriving display-only ratios the canonical dump no longer stores
+ * (integers-only policy): after each `<unit>.misses` that follows a
+ * `<unit>.accesses`, a recomputed `<unit>.miss_ratio` line is emitted.
+ */
+void printStatsWithDerivedRatios(const StatDump &dump, std::ostream &os);
 
 } // namespace tcsim::sim
 

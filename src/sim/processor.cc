@@ -644,7 +644,7 @@ Processor::fetchStage()
     }
 
     const bool was_on = onTruePath_;
-    fetchEngine_->fetchCycle(fetchPc_, scratchBatch_);
+    fetchEngine_->fetchCycle(fetchPc_, scratchBatch_, cycle_);
 
     if (scratchBatch_.icacheStall > 0) {
         icacheStallUntil_ = cycle_ + scratchBatch_.icacheStall;
@@ -906,7 +906,7 @@ Processor::tryScheduleMemory(DynInst &inst)
         latency += 1;
     } else {
         latency += config_.latDCacheHit +
-                   hierarchy_.dcache().access(inst.memAddr, false);
+                   hierarchy_.dcache().access(inst.memAddr, false, cycle_);
     }
     inst.completeCycle = cycle_ + latency;
     return true;
@@ -1550,7 +1550,7 @@ Processor::retireOne(DynInst &inst)
     }
     if (inst.isStore()) {
         memory_.store(inst.memAddr, inst.storeData);
-        hierarchy_.dcache().access(inst.memAddr, true);
+        hierarchy_.dcache().access(inst.memAddr, true, cycle_);
         TCSIM_ASSERT(!storeQueue_.empty() &&
                      storeQueue_.front() == inst.seq);
         storeQueue_.pop_front();
@@ -1806,6 +1806,7 @@ Processor::attachTracer(obs::Tracer *tracer)
     hierarchy_.icache().setTracer(tracer);
     hierarchy_.dcache().setTracer(tracer);
     hierarchy_.l2().setTracer(tracer);
+    hierarchy_.dram().setTracer(tracer);
 }
 
 void
@@ -1844,6 +1845,12 @@ Processor::intervalCounters() const
     c.icacheMisses = hierarchy_.icache().misses();
     c.predictionsUsed = predictionsUsedSum_;
     c.memOrderViolations = memOrderViolations_;
+    c.l2Misses = hierarchy_.l2().misses();
+    c.writebacks = hierarchy_.icache().writebacks() +
+                   hierarchy_.dcache().writebacks() +
+                   hierarchy_.l2().writebacks();
+    c.dramBusWaitCycles = hierarchy_.dram().busWaitCycles();
+    c.dramMshrStallCycles = hierarchy_.dram().mshrStallCycles();
     return c;
 }
 
@@ -1870,6 +1877,7 @@ Processor::resetStats()
     hierarchy_.icache().resetStats();
     hierarchy_.dcache().resetStats();
     hierarchy_.l2().resetStats();
+    hierarchy_.dram().resetStats();
     if (traceCache_ != nullptr)
         traceCache_->resetStats();
     if (fillUnit_ != nullptr)

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Tests for the contended DRAM model: flat-path equivalence, bus
+ * serialization, bank conflicts and open-row hits, the MSHR-style
+ * outstanding-request limit, and whole-system equivalence of the
+ * degenerate zero-contention configuration with the flat-latency
+ * golden path.
+ */
+
+#include <gtest/gtest.h>
+
+#include "memory/dram.h"
+#include "obs/trace.h"
+#include "sim/processor.h"
+#include "workload/generator.h"
+#include "workload/profile.h"
+
+namespace tcsim::memory
+{
+namespace
+{
+
+TEST(Dram, FlatPathChargesConstantLatency)
+{
+    Dram dram; // contended defaults to false
+    EXPECT_EQ(dram.access(0x0, false, 64, 0), 50u);
+    EXPECT_EQ(dram.access(0x0, false, 64, 0), 50u); // no occupancy
+    EXPECT_EQ(dram.access(0x12345, true, 64, 999), 50u);
+    EXPECT_EQ(dram.reads(), 2u);
+    EXPECT_EQ(dram.writes(), 1u);
+    EXPECT_EQ(dram.busWaitCycles(), 0u);
+}
+
+TEST(Dram, BusSerializesBackToBackMisses)
+{
+    DramParams params;
+    params.contended = true;
+    params.busBytesPerCycle = 8; // 64B line -> 8 transfer cycles
+    params.banks = 0;            // unbanked: flat 50-cycle core
+    params.maxOutstanding = 0;
+    Dram dram(params);
+
+    // First transfer: no queueing, 50 core + 8 transfer.
+    EXPECT_EQ(dram.access(0x0000, false, 64, 0), 58u);
+    // Second request in the same cycle queues behind the first's bus
+    // occupancy: 8 wait + 50 + 8.
+    EXPECT_EQ(dram.access(0x1000, false, 64, 0), 66u);
+    EXPECT_EQ(dram.busWaitCycles(), 8u);
+    EXPECT_EQ(dram.busBusyCycles(), 16u);
+    // After the bus drains the charge drops back to the minimum.
+    EXPECT_EQ(dram.access(0x2000, false, 64, 1000), 58u);
+}
+
+TEST(Dram, BankConflictVsOpenRowHit)
+{
+    DramParams params;
+    params.contended = true;
+    params.busBytesPerCycle = 0; // infinite bus isolates bank timing
+    params.banks = 2;
+    params.rowBytes = 2048;
+    params.rowHitLatency = 20;
+    params.rowMissLatency = 50;
+    params.maxOutstanding = 0;
+    Dram dram(params);
+
+    // Cold access opens the row: row-miss latency.
+    EXPECT_EQ(dram.access(0x0, false, 64, 0), 50u);
+    // Same row, same cycle: bank busy (conflict) then an open-row hit.
+    EXPECT_EQ(dram.access(0x40, false, 64, 0), 70u);
+    EXPECT_EQ(dram.bankConflicts(), 1u);
+    EXPECT_EQ(dram.bankWaitCycles(), 50u);
+    EXPECT_EQ(dram.rowHits(), 1u);
+    EXPECT_EQ(dram.rowMisses(), 1u);
+    // Adjacent row lands on the other bank: no conflict, row miss.
+    EXPECT_EQ(dram.access(0x800, false, 64, 0), 50u);
+    EXPECT_EQ(dram.bankConflicts(), 1u);
+    // Once the bank is idle an open-row hit costs just the hit latency.
+    EXPECT_EQ(dram.access(0x80, false, 64, 500), 20u);
+}
+
+TEST(Dram, MshrLimitStallsWhenFull)
+{
+    DramParams params;
+    params.contended = true;
+    params.busBytesPerCycle = 0;
+    params.banks = 0;
+    params.maxOutstanding = 1;
+    Dram dram(params);
+
+    EXPECT_EQ(dram.access(0x0, false, 64, 0), 50u);
+    // The miss file is full until cycle 50: the second request waits
+    // for the first to complete, then pays its own 50 cycles.
+    EXPECT_EQ(dram.access(0x1000, false, 64, 0), 100u);
+    EXPECT_EQ(dram.mshrStalls(), 1u);
+    EXPECT_EQ(dram.mshrStallCycles(), 50u);
+    // Once the outstanding transfer completed there is no stall.
+    EXPECT_EQ(dram.access(0x2000, false, 64, 150), 50u);
+    EXPECT_EQ(dram.mshrStalls(), 1u);
+}
+
+TEST(Dram, ZeroContentionCollapsesToFlatLatency)
+{
+    DramParams params;
+    params.contended = true;
+    params.busBytesPerCycle = 0; // infinite bandwidth
+    params.banks = 0;            // unbanked
+    params.maxOutstanding = 0;   // unlimited
+    params.latency = 50;
+    Dram dram(params);
+
+    for (Cycle now : {Cycle{0}, Cycle{0}, Cycle{7}, Cycle{1000000}}) {
+        EXPECT_EQ(dram.access(0x0, false, 64, now), 50u);
+        EXPECT_EQ(dram.access(0xdeadbe00, true, 64, now), 50u);
+    }
+    EXPECT_EQ(dram.busWaitCycles(), 0u);
+    EXPECT_EQ(dram.bankConflicts(), 0u);
+    EXPECT_EQ(dram.mshrStalls(), 0u);
+}
+
+TEST(Dram, ContendedAccessEmitsMemTracePoints)
+{
+    DramParams params;
+    params.contended = true;
+    Dram dram(params);
+
+    obs::Tracer tracer;
+    auto sink = std::make_unique<obs::VectorSink>();
+    obs::VectorSink *raw = sink.get();
+    tracer.setMask(1u << static_cast<unsigned>(obs::Category::Mem));
+    tracer.addSink(std::move(sink));
+    dram.setTracer(&tracer);
+
+    dram.access(0x0, false, 64, 0);
+    dram.access(0x40, true, 64, 0);
+    ASSERT_EQ(raw->records().size(), 2u);
+    EXPECT_EQ(raw->records()[0].event, "dram_read");
+    EXPECT_EQ(raw->records()[1].event, "dram_write");
+}
+
+TEST(Dram, StatsDumpAndReset)
+{
+    DramParams params;
+    params.contended = true;
+    params.busBytesPerCycle = 4;
+    Dram dram(params);
+    dram.access(0x0, false, 64, 0);
+    dram.access(0x40, true, 64, 0);
+
+    StatDump dump;
+    dram.dumpStats(dump);
+    EXPECT_DOUBLE_EQ(dump.get("dram.reads"), 1.0);
+    EXPECT_DOUBLE_EQ(dump.get("dram.writes"), 1.0);
+    EXPECT_GT(dump.get("dram.bus_wait_cycles"), 0.0);
+    for (const auto &[name, value] : dump.entries())
+        EXPECT_EQ(value, static_cast<double>(
+                             static_cast<std::uint64_t>(value)))
+            << name << " is not an integer";
+
+    dram.resetStats();
+    StatDump fresh;
+    dram.dumpStats(fresh);
+    EXPECT_DOUBLE_EQ(fresh.get("dram.reads"), 0.0);
+    EXPECT_DOUBLE_EQ(fresh.get("dram.bus_wait_cycles"), 0.0);
+}
+
+// Whole-system guard for the opt-in contract: a contended config with
+// every contention source disabled must reproduce the flat-latency
+// golden stats exactly (same cycles, same cache traffic), because the
+// degenerate DRAM path returns the same constant the flat backstop
+// does. This is what keeps default results byte-identical.
+TEST(DramIntegration, ZeroContentionConfigEqualsFlatGolden)
+{
+    workload::Program program =
+        workload::generateProgram(workload::findProfile("compress"));
+
+    sim::ProcessorConfig flat = sim::baselineConfig();
+
+    sim::ProcessorConfig degenerate = sim::baselineConfig();
+    degenerate.hierarchy.dram.contended = true;
+    degenerate.hierarchy.dram.busBytesPerCycle = 0;
+    degenerate.hierarchy.dram.banks = 0;
+    degenerate.hierarchy.dram.maxOutstanding = 0;
+    degenerate.hierarchy.dram.latency = 50;
+    // writebackToNext stays false: the legacy zero-cost eviction path.
+
+    sim::Processor a(flat, program);
+    sim::Processor b(degenerate, program);
+    const sim::SimResult ra = a.run(60000);
+    const sim::SimResult rb = b.run(60000);
+
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.instructions, rb.instructions);
+    EXPECT_DOUBLE_EQ(ra.ipc, rb.ipc);
+    EXPECT_EQ(ra.stats.get("l2.accesses"), rb.stats.get("l2.accesses"));
+    EXPECT_EQ(ra.stats.get("l2.misses"), rb.stats.get("l2.misses"));
+    EXPECT_EQ(ra.stats.get("l1d.writebacks"),
+              rb.stats.get("l1d.writebacks"));
+    // The degenerate run exposes DRAM counters; the flat run must not.
+    EXPECT_FALSE(ra.stats.has("dram.reads"));
+    EXPECT_TRUE(rb.stats.has("dram.reads"));
+    EXPECT_EQ(rb.stats.get("dram.reads"), rb.stats.get("l2.misses"));
+    EXPECT_DOUBLE_EQ(rb.stats.get("dram.bus_wait_cycles"), 0.0);
+}
+
+// Under real contention the same workload must get slower, and the
+// memory-pressure counters must light up.
+TEST(DramIntegration, ContentionCostsCyclesAndShowsTraffic)
+{
+    workload::Program program =
+        workload::generateProgram(workload::findProfile("gcc"));
+
+    sim::ProcessorConfig flat = sim::baselineConfig();
+    memory::DramParams dram;
+    dram.busBytesPerCycle = 4; // narrow bus
+    const sim::ProcessorConfig contended =
+        sim::withContendedMemory(sim::baselineConfig(), dram);
+    EXPECT_EQ(contended.name, "baseline+mem");
+    EXPECT_NE(sim::configFingerprint(flat),
+              sim::configFingerprint(contended));
+
+    sim::Processor a(flat, program);
+    sim::Processor b(contended, program);
+    // 150k instructions: enough for gcc's data footprint to evict
+    // dirty L1d lines (writeback traffic is zero below ~100k).
+    const sim::SimResult ra = a.run(150000);
+    const sim::SimResult rb = b.run(150000);
+
+    EXPECT_GT(rb.cycles, ra.cycles);
+    EXPECT_GT(rb.stats.get("dram.bus_wait_cycles"), 0.0);
+    EXPECT_GT(rb.stats.get("l1d.writeback_cycles"), 0.0);
+}
+
+} // namespace
+} // namespace tcsim::memory

@@ -18,6 +18,21 @@
  *     --histogram           print the fetch-width histogram
  *     --stats               print the full statistics dump
  *
+ *   Memory model (contended DRAM backstop; default is the flat
+ *   50-cycle latency):
+ *     --mem-contended       enable the bus/bank-contended DRAM model
+ *                           (also issues dirty-victim writebacks from
+ *                           L1d and L2)
+ *     --mem-latency <n>     flat / unbanked core latency (default 50)
+ *     --mem-bus-bytes <n>   data-bus bytes per cycle; 0 = infinite
+ *                           (default 8)
+ *     --mem-banks <n>       DRAM banks; 0 = unbanked (default 8)
+ *     --mem-row-bytes <n>   open-row size in bytes (default 2048)
+ *     --mem-row-hit <n>     open-row hit latency (default 20)
+ *     --mem-row-miss <n>    row miss latency (default 50)
+ *     --mem-mshrs <n>       outstanding-request limit; 0 = unlimited
+ *                           (default 8)
+ *
  *   Observability (src/obs):
  *     --trace <cats>        enable trace points: comma list of
  *                           fetch,tc,fill,promote,bpred,mem,core or
@@ -64,6 +79,10 @@ usage(const char *argv0)
                  "[--disambiguation <d>] [--path-assoc] "
                  "[--no-partial-match] [--no-inactive-issue] "
                  "[--static-promotion] [--histogram] [--stats] "
+                 "[--mem-contended] [--mem-latency <n>] "
+                 "[--mem-bus-bytes <n>] [--mem-banks <n>] "
+                 "[--mem-row-bytes <n>] [--mem-row-hit <n>] "
+                 "[--mem-row-miss <n>] [--mem-mshrs <n>] "
                  "[--trace <cats>] [--trace-out <path>] "
                  "[--trace-format text|jsonl|chrome] [--intervals <n>] "
                  "[--intervals-out <path>] [--profile]\n",
@@ -109,6 +128,8 @@ main(int argc, char **argv)
     std::string intervals_out = "tcsim-intervals.json";
     std::uint64_t interval_insts = 0;
     bool profile = false;
+    bool mem_contended = false;
+    memory::DramParams dram;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -169,6 +190,29 @@ main(int argc, char **argv)
             intervals_out = value();
         else if (arg == "--profile")
             profile = true;
+        else if (arg == "--mem-contended")
+            mem_contended = true;
+        else if (arg == "--mem-latency")
+            dram.latency = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (arg == "--mem-bus-bytes")
+            dram.busBytesPerCycle = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (arg == "--mem-banks")
+            dram.banks = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (arg == "--mem-row-bytes")
+            dram.rowBytes = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (arg == "--mem-row-hit")
+            dram.rowHitLatency = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (arg == "--mem-row-miss")
+            dram.rowMissLatency = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
+        else if (arg == "--mem-mshrs")
+            dram.maxOutstanding = static_cast<std::uint32_t>(
+                std::strtoul(value().c_str(), nullptr, 10));
         else
             usage(argv[0]);
     }
@@ -207,6 +251,8 @@ main(int argc, char **argv)
     config.traceCache.pathAssociativity = path_assoc;
     config.partialMatching = !no_partial;
     config.inactiveIssue = !no_inactive;
+    if (mem_contended)
+        config = sim::withContendedMemory(std::move(config), dram);
 
     workload::Program program =
         workload::generateProgram(workload::findProfile(bench));
@@ -342,7 +388,7 @@ main(int argc, char **argv)
     }
     if (full_stats) {
         std::ostringstream os;
-        r.stats.print(os);
+        sim::printStatsWithDerivedRatios(r.stats, os);
         std::printf("\n%s", os.str().c_str());
     }
     return 0;
