@@ -187,6 +187,40 @@ BM_FillUnitThroughput(benchmark::State &state)
 BENCHMARK(BM_FillUnitThroughput);
 
 void
+BM_FillUnitSegmentBuild(benchmark::State &state)
+{
+    // Finalize-heavy stream: short blocks ending in Ret terminate a
+    // segment each, so every iteration exercises the full build →
+    // insert → reset cycle. Measures the segment-build allocation
+    // path (pending_ buffer recycling via TraceCache::insert swap).
+    trace::TraceCache cache(trace::TraceCacheParams{256, 4});
+    trace::FillUnitParams params;
+    params.packing = trace::PackingPolicy::CostRegulated;
+    trace::FillUnit unit(params, cache);
+
+    trace::RetiredInst alu;
+    alu.inst = isa::Instruction{isa::Opcode::Add, 10, 11, 12, 0};
+    trace::RetiredInst ret;
+    ret.inst = isa::Instruction{isa::Opcode::Ret, 0, isa::kRegRa, 0, 0};
+
+    Addr pc = 0x1000;
+    for (auto _ : state) {
+        for (unsigned i = 0; i < 7; ++i) {
+            trace::RetiredInst inst = alu;
+            inst.pc = pc;
+            pc += 4;
+            unit.retire(inst);
+        }
+        trace::RetiredInst inst = ret;
+        inst.pc = pc;
+        pc = 0x1000 + ((pc + 4) & 0x3fff);
+        unit.retire(inst);
+    }
+    state.SetItemsProcessed(state.iterations()); // one segment per iter
+}
+BENCHMARK(BM_FillUnitSegmentBuild);
+
+void
 BM_FunctionalExecution(benchmark::State &state)
 {
     workload::FunctionalExecutor exec(compressProgram());

@@ -1,6 +1,8 @@
 #include "bench/sweep.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -13,7 +15,10 @@
 #include "common/fnv.h"
 #include "common/json.h"
 #include "common/log.h"
+#include "obs/bbv.h"
+#include "sample/simpoints.h"
 #include "sim/processor.h"
+#include "workload/archstate.h"
 #include "workload/generator.h"
 #include "workload/profile.h"
 
@@ -126,6 +131,10 @@ appendResultRecord(std::string &out, const WorkUnit &unit,
     kv("config", "\"" + jsonEscape(unit.config.name) + "\"");
     num("insts", unit.insts);
     num("warmup", unit.warmup);
+    if (unit.sampled.enabled) {
+        num("sampled_interval", unit.sampled.interval);
+        num("sampled_max_k", unit.sampled.maxK);
+    }
     kv("hash", "\"" + unit.hash + "\"");
     num("instructions", n.instructions);
     num("cycles", n.cycles);
@@ -270,7 +279,83 @@ predictorStateKey(const WorkUnit &unit)
     return key;
 }
 
+/**
+ * Cache key for a sampled-execution warm-state checkpoint: the full
+ * microarchitectural state (predictors, bias table, indirect targets,
+ * cache tags, trace-cache contents) exported after functionally
+ * warming the prefix [0, @p pos). Independent of unit.warmup (the
+ * functional pass always covers the whole prefix); keyed by the
+ * warming-scheme version so a change to the warming algorithm
+ * invalidates old checkpoints.
+ */
+std::string
+warmingStateKey(const WorkUnit &unit, std::uint64_t pos)
+{
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile(unit.benchmark);
+    std::string key = "warmstate:v";
+    key += std::to_string(sample::kSampledWarmingVersion);
+    key += ":pred=v";
+    key += std::to_string(kPredStateVersion);
+    key += ":gen=v";
+    key += std::to_string(workload::kGeneratorVersion);
+    key += ":prog=";
+    key += hashHex(workload::profileFingerprint(profile));
+    key += ":cfg=";
+    key += hashHex(sim::configFingerprint(unit.config));
+    key += ":pos=";
+    key += std::to_string(pos);
+    return key;
+}
+
+/** Program-only key prefix shared by the config-independent sampled
+ * artifacts (BBV profiles, architectural checkpoints). */
+std::string
+programKeyPrefix(const std::string &benchmark)
+{
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile(benchmark);
+    std::string key = "gen=v";
+    key += std::to_string(workload::kGeneratorVersion);
+    key += ":prog=";
+    key += hashHex(workload::profileFingerprint(profile));
+    return key;
+}
+
+std::string
+archCkptKey(const std::string &benchmark, std::uint64_t pos)
+{
+    std::string key = "archckpt:v1:";
+    key += programKeyPrefix(benchmark);
+    key += ":pos=";
+    key += std::to_string(pos);
+    return key;
+}
+
+double
+wallSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
 } // namespace
+
+std::string
+bbvArtifactKey(const std::string &benchmark, std::uint64_t insts,
+               std::uint64_t interval)
+{
+    std::string key = "bbv:v";
+    key += std::to_string(sample::kBbvFormatVersion);
+    key += ':';
+    key += programKeyPrefix(benchmark);
+    key += ":insts=";
+    key += std::to_string(insts);
+    key += ":interval=";
+    key += std::to_string(interval);
+    return key;
+}
 
 std::vector<sim::ProcessorConfig>
 defaultSweepConfigs()
@@ -355,14 +440,43 @@ enumerateUnits(const SweepOptions &options)
             unit.insts = options.insts != 0 ? options.insts
                                             : profile.defaultMaxInsts;
             unit.warmup = options.warmup;
+            unit.sampled = options.sampled;
             unit.id = benchmark + "@" + config.name + "@" +
                       std::to_string(unit.insts);
+            if (unit.sampled.enabled) {
+                if (unit.sampled.interval == 0 || unit.sampled.maxK == 0 ||
+                    unit.insts % unit.sampled.interval != 0) {
+                    fatal("sampled sweep: interval must be positive, "
+                          "divide the budget (%llu %% %llu != 0), and "
+                          "max_k must be positive",
+                          static_cast<unsigned long long>(unit.insts),
+                          static_cast<unsigned long long>(
+                              unit.sampled.interval));
+                }
+                unit.id += "@sampled-i" +
+                           std::to_string(unit.sampled.interval) + "-k" +
+                           std::to_string(unit.sampled.maxK) + "-w" +
+                           std::to_string(unit.warmup);
+            }
             std::uint64_t hash = fnv1a(unit.id);
             hash = fnv1aAppendScalar(hash, workload::kGeneratorVersion);
             hash = fnv1aAppendScalar(
                 hash, workload::profileFingerprint(profile));
             hash = fnv1aAppendScalar(hash, config_fp);
             hash = fnv1aAppendScalar(hash, unit.warmup);
+            if (unit.sampled.enabled) {
+                // The sampled result additionally depends on the BBV
+                // artifact format, the clustering algorithm and its
+                // parameters; hash them so stale fragments regenerate.
+                hash = fnv1aAppendScalar(hash, unit.sampled.interval);
+                hash = fnv1aAppendScalar(hash, unit.sampled.maxK);
+                hash = fnv1aAppendScalar(hash, sample::kBbvFormatVersion);
+                hash = fnv1aAppendScalar(hash,
+                                         sample::kSimpointsAlgoVersion);
+                hash = fnv1aAppendScalar(hash, sample::kSimpointSeed);
+                hash = fnv1aAppendScalar(
+                    hash, sample::kSampledWarmingVersion);
+            }
             unit.hash = hashHex(hash);
             units.push_back(std::move(unit));
         }
@@ -439,6 +553,326 @@ executeUnit(const WorkUnit &unit)
     return proc.run(unit.insts);
 }
 
+namespace
+{
+
+/** Accumulate @p region into @p total scaled by @p weight (exact
+ * integer math; the canonical renderer derives rates later). */
+void
+accumulateWeighted(ResultIntegers &total, const ResultIntegers &region,
+                   std::uint64_t weight)
+{
+    total.instructions += weight * region.instructions;
+    total.cycles += weight * region.cycles;
+    total.condBranches += weight * region.condBranches;
+    total.condMispredicts += weight * region.condMispredicts;
+    total.promotedFaults += weight * region.promotedFaults;
+    total.indirectMispredicts += weight * region.indirectMispredicts;
+    total.usefulFetches += weight * region.usefulFetches;
+    total.fetchedInsts += weight * region.fetchedInsts;
+    total.resolutionTimeSum += weight * region.resolutionTimeSum;
+    total.resolutionTimeCount += weight * region.resolutionTimeCount;
+    for (unsigned i = 0; i < 4; ++i)
+        total.fetchesNeedingPreds[i] +=
+            weight * region.fetchesNeedingPreds[i];
+    for (unsigned c = 0; c < kNumCycleCats; ++c)
+        total.cycleCat[c] += weight * region.cycleCat[c];
+    for (unsigned r = 0; r < kNumFetchReasons; ++r)
+        for (unsigned w = 0; w < kFetchHistWidth; ++w)
+            total.fetchHist[r][w] += weight * region.fetchHist[r][w];
+    total.tcLookups += weight * region.tcLookups;
+    total.tcHits += weight * region.tcHits;
+    total.icacheMisses += weight * region.icacheMisses;
+    total.promotedRetired += weight * region.promotedRetired;
+}
+
+/**
+ * The sampled execution pipeline for one unit. Every stage is cached
+ * through the artifact cache and regenerated deterministically on a
+ * miss, so results are identical hit or miss and across shards.
+ */
+ResultIntegers
+executeSampledUnit(const WorkUnit &unit)
+{
+    TCSIM_ASSERT(unit.sampled.enabled);
+    const workload::Program &program = programFor(unit.benchmark);
+    ArtifactCache &cache = ArtifactCache::process();
+
+    // 1. BBV profile: functional pass, configuration-independent,
+    //    shared by every config in the matrix via the cache.
+    const std::string bbv_json =
+        cache.getOrCreate(
+            "bbv",
+            bbvArtifactKey(unit.benchmark, unit.insts,
+                           unit.sampled.interval),
+            [&] {
+            return sample::profileBbv(program, unit.benchmark, unit.insts,
+                                      unit.sampled.interval)
+                .toJson();
+        });
+    const std::optional<obs::BbvDocument> bbv =
+        obs::BbvDocument::fromJson(bbv_json);
+    if (!bbv || bbv->totalInsts != unit.insts ||
+        bbv->intervalInsts != unit.sampled.interval) {
+        fatal("BBV profile for %s is malformed or mismatched "
+              "(early halt below the budget?)",
+              unit.id.c_str());
+    }
+
+    // 2. Deterministic clustering: a pure single-threaded function of
+    //    the BBV artifact — bit-identical regardless of TCSIM_JOBS or
+    //    shard count.
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile(unit.benchmark);
+    const sample::SimpointPlan plan = sample::selectSimpoints(
+        *bbv, hashHex(workload::profileFingerprint(profile)),
+        unit.sampled.maxK);
+
+    // 3. Architectural checkpoints at each region's detailed warm-up
+    //    start (config-independent). All misses are produced by ONE
+    //    monotone walker pass instead of one pass per position.
+    std::vector<std::uint64_t> positions;
+    for (const sample::Simpoint &pt : plan.points) {
+        const std::uint64_t start = pt.startInsts;
+        const std::uint64_t detail_start =
+            start > unit.warmup ? start - unit.warmup : 0;
+        if (detail_start > 0)
+            positions.push_back(detail_start);
+    }
+    std::sort(positions.begin(), positions.end());
+    positions.erase(std::unique(positions.begin(), positions.end()),
+                    positions.end());
+
+    std::map<std::uint64_t, std::string> ckpt_blobs;
+    std::vector<std::uint64_t> missing;
+    for (const std::uint64_t pos : positions) {
+        std::optional<std::string> blob;
+        if (cache.enabled())
+            blob = cache.load("archckpt", archCkptKey(unit.benchmark, pos));
+        if (blob)
+            ckpt_blobs.emplace(pos, std::move(*blob));
+        else
+            missing.push_back(pos);
+    }
+    if (!missing.empty()) {
+        workload::ArchStateWalker walker(program);
+        for (const std::uint64_t pos : missing) {
+            walker.advanceTo(pos);
+            std::string blob = walker.capture().serialize();
+            if (cache.enabled())
+                cache.store("archckpt", archCkptKey(unit.benchmark, pos),
+                            blob);
+            ckpt_blobs.emplace(pos, std::move(blob));
+        }
+    }
+    const auto ckptAt = [&](std::uint64_t pos) -> workload::ArchCheckpoint {
+        const auto it = ckpt_blobs.find(pos);
+        TCSIM_ASSERT(it != ckpt_blobs.end());
+        auto ckpt = workload::ArchCheckpoint::deserialize(it->second);
+        if (!ckpt || ckpt->instIndex != pos) {
+            fatal("architectural checkpoint at %llu for %s is corrupt",
+                  static_cast<unsigned long long>(pos), unit.id.c_str());
+        }
+        return std::move(*ckpt);
+    };
+
+    // 4. Warm-state checkpoints at the same positions: ONE shared
+    //    functional-warming pass per (program, config) walks the whole
+    //    prefix once, training predictors and the bias table, feeding
+    //    the fill unit (which builds the trace cache) and touching
+    //    cache tags at functional-executor speed, and exports the full
+    //    warm microarchitectural state at each region's detailed
+    //    warm-up start. The pass is monotone — functionalWarmup()
+    //    resumes on a never-cycled processor — so its cost is one
+    //    functional traversal of the program, not one per region.
+    //    Checkpoints are pure functions of (program, config, position,
+    //    warming version) and flow through the artifact cache like
+    //    everything else.
+    std::map<std::uint64_t, std::string> warm_blobs;
+    {
+        std::vector<std::uint64_t> warm_missing;
+        for (const std::uint64_t pos : positions) {
+            std::optional<std::string> blob;
+            if (cache.enabled())
+                blob = cache.load("warmstate", warmingStateKey(unit, pos));
+            if (blob)
+                warm_blobs.emplace(pos, std::move(*blob));
+            else
+                warm_missing.push_back(pos);
+        }
+        if (!warm_missing.empty()) {
+            sim::Processor warmer(unit.config, program);
+            for (const std::uint64_t pos : warm_missing) {
+                warmer.functionalWarmup(pos);
+                std::ostringstream os;
+                warmer.exportWarmState(os);
+                std::string blob = std::move(os).str();
+                if (cache.enabled())
+                    cache.store("warmstate", warmingStateKey(unit, pos),
+                                blob);
+                warm_blobs.emplace(pos, std::move(blob));
+            }
+        }
+    }
+
+    // 5. Simulate each representative region on the detailed model
+    //    and combine by cluster weight. Each region's processor is
+    //    warm-started architecturally from the cached checkpoint with
+    //    the prefix-warmed microarchitectural state imported on top
+    //    (regions ALWAYS import the blob — also right after generating
+    //    it — so a cache hit replays exactly the cold path), then runs
+    //    the unit's warm-up budget of DETAILED instructions (smoothing
+    //    the residual gap between functional warming and real pipeline
+    //    behavior), and only then opens the stats window (resetStats)
+    //    for the region proper. This layered warm-up is what keeps
+    //    per-region cold-start bias inside the error tolerance without
+    //    paying detailed-simulation cost for it.
+    ResultIntegers combined;
+    for (const sample::Simpoint &pt : plan.points) {
+        const std::uint64_t start = pt.startInsts;
+        const std::uint64_t stop = start + plan.intervalInsts;
+        const std::uint64_t detail_start =
+            start > unit.warmup ? start - unit.warmup : 0;
+
+        sim::Processor proc(unit.config, program);
+        if (detail_start > 0) {
+            proc.warmStart(ckptAt(detail_start));
+            const auto it = warm_blobs.find(detail_start);
+            TCSIM_ASSERT(it != warm_blobs.end());
+            std::istringstream is(it->second);
+            if (!proc.importWarmState(is)) {
+                fatal("functional-warming checkpoint at %llu for %s "
+                      "rejected by a processor with the same "
+                      "configuration (format bug)",
+                      static_cast<unsigned long long>(detail_start),
+                      unit.id.c_str());
+            }
+        }
+        if (detail_start < start)
+            proc.run(start);
+        proc.resetStats();
+        accumulateWeighted(combined, integersOf(proc.run(stop)),
+                           pt.weightNum);
+    }
+    return combined;
+}
+
+} // namespace
+
+ResultIntegers
+executeUnitIntegers(const WorkUnit &unit)
+{
+    if (unit.sampled.enabled)
+        return executeSampledUnit(unit);
+    return integersOf(executeUnit(unit));
+}
+
+std::string
+samplingErrorReport(const SweepOptions &options, double tolerance,
+                    bool *all_within_out)
+{
+    TCSIM_ASSERT(options.sampled.enabled,
+                 "samplingErrorReport needs a sampled matrix");
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+
+    std::string out = "{\n";
+    out += "  \"schema\": \"tcsim-sampling-error-v1\",\n";
+    out += "  \"matrix_hash\": \"" + matrixHash(units) + "\",\n";
+    out += "  \"tolerance\": " + formatDouble(tolerance) + ",\n";
+    out += "  \"units\": [\n";
+
+    bool all_within = true;
+    double full_wall_total = 0.0;
+    double sampled_wall_total = 0.0;
+    double max_err_ipc = 0.0;
+    double max_err_fetch = 0.0;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        const WorkUnit &unit = units[i];
+
+        auto t0 = std::chrono::steady_clock::now();
+        const ResultIntegers sampled = executeSampledUnit(unit);
+        const double sampled_wall = wallSince(t0);
+
+        WorkUnit full_unit = unit;
+        full_unit.sampled = SampledParams{};
+        t0 = std::chrono::steady_clock::now();
+        const ResultIntegers full = integersOf(executeUnit(full_unit));
+        const double full_wall = wallSince(t0);
+
+        const auto rel_err = [](double estimate, double reference) {
+            if (reference == 0.0)
+                return estimate == 0.0 ? 0.0 : 1.0;
+            return std::abs(estimate - reference) / reference;
+        };
+        const auto stats_of = [](const ResultIntegers &n) {
+            struct Derived
+            {
+                double ipc, fetchRate, mispredictRate;
+            };
+            return Derived{ratioOf(n.instructions, n.cycles),
+                           ratioOf(n.fetchedInsts, n.usefulFetches),
+                           ratioOf(n.condMispredicts, n.condBranches)};
+        };
+        const auto s = stats_of(sampled);
+        const auto f = stats_of(full);
+        const double err_ipc = rel_err(s.ipc, f.ipc);
+        const double err_fetch = rel_err(s.fetchRate, f.fetchRate);
+        const double err_mispredict =
+            rel_err(s.mispredictRate, f.mispredictRate);
+        const bool within = err_ipc <= tolerance && err_fetch <= tolerance;
+        all_within = all_within && within;
+        max_err_ipc = std::max(max_err_ipc, err_ipc);
+        max_err_fetch = std::max(max_err_fetch, err_fetch);
+        full_wall_total += full_wall;
+        sampled_wall_total += sampled_wall;
+
+        out += "    {\n";
+        out += "      \"id\": \"" + jsonEscape(unit.id) + "\",\n";
+        out += "      \"sampled\": {\"ipc\": " + formatDouble(s.ipc) +
+               ", \"fetch_rate\": " + formatDouble(s.fetchRate) +
+               ", \"mispredict_rate\": " + formatDouble(s.mispredictRate) +
+               ", \"wall_seconds\": " + formatDouble(sampled_wall) +
+               "},\n";
+        out += "      \"full\": {\"ipc\": " + formatDouble(f.ipc) +
+               ", \"fetch_rate\": " + formatDouble(f.fetchRate) +
+               ", \"mispredict_rate\": " + formatDouble(f.mispredictRate) +
+               ", \"wall_seconds\": " + formatDouble(full_wall) + "},\n";
+        out += "      \"rel_err\": {\"ipc\": " + formatDouble(err_ipc) +
+               ", \"fetch_rate\": " + formatDouble(err_fetch) +
+               ", \"mispredict_rate\": " + formatDouble(err_mispredict) +
+               "},\n";
+        out += "      \"speedup\": " +
+               formatDouble(sampled_wall > 0.0 ? full_wall / sampled_wall
+                                               : 0.0) +
+               ",\n";
+        out += std::string("      \"within_tolerance\": ") +
+               (within ? "true" : "false") + "\n";
+        out += i + 1 < units.size() ? "    },\n" : "    }\n";
+    }
+
+    out += "  ],\n";
+    out += "  \"aggregate\": {\n";
+    out += "    \"max_rel_err_ipc\": " + formatDouble(max_err_ipc) + ",\n";
+    out += "    \"max_rel_err_fetch_rate\": " + formatDouble(max_err_fetch) +
+           ",\n";
+    out += "    \"full_wall_seconds\": " + formatDouble(full_wall_total) +
+           ",\n";
+    out += "    \"sampled_wall_seconds\": " +
+           formatDouble(sampled_wall_total) + ",\n";
+    out += "    \"speedup\": " +
+           formatDouble(sampled_wall_total > 0.0
+                            ? full_wall_total / sampled_wall_total
+                            : 0.0) +
+           "\n";
+    out += "  },\n";
+    out += std::string("  \"all_within_tolerance\": ") +
+           (all_within ? "true" : "false") + "\n";
+    out += "}\n";
+    if (all_within_out != nullptr)
+        *all_within_out = all_within;
+    return out;
+}
+
 std::string
 renderFragment(const WorkUnit &unit, const ResultIntegers &integers,
                const UnitTiming &timing)
@@ -452,8 +886,14 @@ renderFragment(const WorkUnit &unit, const ResultIntegers &integers,
     out += "    \"benchmark\": \"" + jsonEscape(unit.benchmark) + "\",\n";
     out += "    \"config\": \"" + jsonEscape(unit.config.name) + "\",\n";
     out += "    \"insts\": " + std::to_string(unit.insts) + ",\n";
-    out += "    \"warmup\": " + std::to_string(unit.warmup) + "\n";
-    out += "  },\n";
+    out += "    \"warmup\": " + std::to_string(unit.warmup);
+    if (unit.sampled.enabled) {
+        out += ",\n    \"sampled_interval\": " +
+               std::to_string(unit.sampled.interval);
+        out += ",\n    \"sampled_max_k\": " +
+               std::to_string(unit.sampled.maxK);
+    }
+    out += "\n  },\n";
     out += "  \"result\": ";
     appendResultRecord(out, unit, integers, "  ");
     out += ",\n";

@@ -44,6 +44,31 @@
 namespace tcsim::bench
 {
 
+/**
+ * SimPoint-style sampled execution parameters (the `sampled` config
+ * dimension). When enabled, a unit is not simulated end to end:
+ * a cached functional BBV profile of the benchmark is clustered
+ * (deterministic seeded k-means, k swept in [1, maxK]) and only the
+ * representative region of each cluster runs on the detailed model,
+ * warm-started from cached architectural checkpoints plus predictor
+ * state exported by one shared functional-warming pass over the
+ * region's whole prefix; when the unit has a warmup budget, a
+ * detailed warm-up pass over the `warmup` instructions preceding the
+ * region additionally re-warms what a predictor checkpoint cannot
+ * carry (cache tags, trace-cache contents) before the stats window
+ * opens. Region stats combine as exact integers weighted by cluster
+ * population.
+ */
+struct SampledParams
+{
+    bool enabled = false;
+    /** BBV interval length in instructions; must divide the unit's
+     * instruction budget so cluster weights stay exact rationals. */
+    std::uint64_t interval = 0;
+    /** k-means sweeps k in [1, maxK] with a BIC-style score. */
+    std::uint32_t maxK = 0;
+};
+
 /** One (benchmark, configuration) cell of the sweep matrix. */
 struct WorkUnit
 {
@@ -52,7 +77,10 @@ struct WorkUnit
     sim::ProcessorConfig config;
     std::uint64_t insts = 0;  ///< resolved measurement budget
     std::uint64_t warmup = 0; ///< predictor warm-up instructions
-    std::string id;   ///< "<benchmark>@<config>@<insts>"
+    SampledParams sampled;    ///< sampled-execution dimension
+    /** "<benchmark>@<config>@<insts>", plus
+     * "@sampled-i<interval>-k<maxK>-w<warmup>" when sampled. */
+    std::string id;
     std::string hash; ///< 16-hex content hash (see file comment)
 };
 
@@ -67,6 +95,8 @@ struct SweepOptions
     std::uint64_t insts = 0;
     /** Predictor warm-up instructions per unit (0 = cold start). */
     std::uint64_t warmup = 0;
+    /** Sampled-execution dimension applied to every unit. */
+    SampledParams sampled;
 };
 
 /** The paper's headline configurations, used when none are named. */
@@ -134,6 +164,41 @@ struct UnitTiming
  * deterministic producers, so results are identical hit or miss.
  */
 sim::SimResult executeUnit(const WorkUnit &unit);
+
+/**
+ * @return the content key a benchmark's BBV profile artifact is
+ * cached under (config-independent: generator version + profile
+ * fingerprint + budget + interval). Shared by the sweep engine and
+ * the tcsim_simpoints CLI so both hit the same cache entry.
+ */
+std::string bbvArtifactKey(const std::string &benchmark,
+                           std::uint64_t insts, std::uint64_t interval);
+
+/**
+ * Simulate one unit — full or sampled — and return the canonical
+ * integer payload. Full units delegate to executeUnit(). Sampled
+ * units run the BBV -> k-means -> warm-started representative-region
+ * pipeline (the intermediate artifacts flow through the artifact
+ * cache: "bbv" profiles and "archckpt" architectural checkpoints are
+ * configuration-independent and shared by every config in the
+ * matrix; "warmstate" functional-warming checkpoints are per-config)
+ * and combine region integers as sum(weight_num * stat).
+ * Every stage is a deterministic pure function, so sampled results
+ * keep the byte-identical merge guarantee.
+ */
+ResultIntegers executeUnitIntegers(const WorkUnit &unit);
+
+/**
+ * Run @p options' matrix both sampled and full, compare derived
+ * stats, and render the `tcsim-sampling-error-v1` report (per-unit
+ * and aggregate relative error for IPC / effective fetch rate /
+ * mispredict rate, wall-clock for both paths, and the speedup).
+ * options.sampled must be enabled. When @p all_within_out is
+ * non-null it receives whether every unit's IPC and fetch-rate
+ * relative errors are <= @p tolerance.
+ */
+std::string samplingErrorReport(const SweepOptions &options,
+                                double tolerance, bool *all_within_out);
 
 /** Render one fragment document (canonical integers + timing). */
 std::string renderFragment(const WorkUnit &unit,

@@ -6,11 +6,12 @@
  * line per claim. Exit status is the number of failed claims, so this
  * doubles as a CI gate for the reproduction.
  *
- * Claims that are known to need a larger instruction budget than the
- * current run's are reported as DEVIATION instead of FAIL when they
- * miss: a documented, expected training-scale artifact (see
- * EXPERIMENTS.md "Deviations"), not a model regression. Deviations do
- * not count toward the exit status.
+ * Claims that need a larger instruction budget than the current run's
+ * (claim 6: bias-table training) are re-measured at representative
+ * scale through the sampled-execution pipeline instead of being
+ * waved off as expected deviations: the verdict line is then labeled
+ * "(sampled @4M)". The DEVIATION verdict remains for any future claim
+ * with a documented, expected artifact that cannot be re-measured.
  */
 
 #include <algorithm>
@@ -19,6 +20,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "bench/sweep.h"
 
 namespace
 {
@@ -154,15 +156,50 @@ main()
         std::uint64_t min_budget = ~std::uint64_t{0};
         for (const auto &profile : workload::benchmarkSuite())
             min_budget = std::min(min_budget, instBudget(profile));
-        const char *scale_note =
-            min_budget < 4'000'000
-                ? "promotion under-trained at this instruction budget; "
-                  "passes at >=4M insts (run_benches.sh --long or "
-                  "TCSIM_INSTS=4000000)"
-                : nullptr;
-        claim("promotion shifts fetches into the 0-or-1-prediction "
-              "class (paper 54%->85%)",
-              shift > 15, shift > 22, shift, "pp", scale_note);
+        if (shift > 15 || min_budget >= 4'000'000) {
+            claim("promotion shifts fetches into the 0-or-1-prediction "
+                  "class (paper 54%->85%)",
+                  shift > 15, shift > 22, shift, "pp");
+        } else {
+            // Representative verdict at training scale: re-measure
+            // base vs promotion at 4M instructions through the
+            // sampled-execution pipeline (SimPoint regions,
+            // warm-started), which converges where the short detailed
+            // budget above cannot. Artifacts flow through
+            // TCSIM_CACHE_DIR when set, so repeat runs are cheap.
+            std::printf("    claim 6 under-trained at %.1fpp; "
+                        "re-measuring sampled @4M...\n", shift);
+            std::fflush(stdout);
+            SweepOptions options;
+            options.configs = {sim::baselineConfig(),
+                               sim::promotionConfig(64)};
+            options.insts = 4'000'000;
+            options.warmup = 10'000;
+            options.sampled.enabled = true;
+            options.sampled.interval = 100'000;
+            options.sampled.maxK = 4;
+            std::vector<double> base01, promo01;
+            for (const WorkUnit &unit : enumerateUnits(options)) {
+                const ResultIntegers n = executeUnitIntegers(unit);
+                std::uint64_t total = 0;
+                for (const std::uint64_t count : n.fetchesNeedingPreds)
+                    total += count;
+                const double frac01 =
+                    total == 0 ? 0.0
+                               : static_cast<double>(
+                                     n.fetchesNeedingPreds[0] +
+                                     n.fetchesNeedingPreds[1]) /
+                                     static_cast<double>(total);
+                (unit.config.name == "baseline" ? base01 : promo01)
+                    .push_back(frac01);
+            }
+            const double sampled_shift =
+                100 * (mean(promo01) - mean(base01));
+            claim("promotion shifts fetches into the 0-or-1-prediction "
+                  "class (sampled @4M; paper 54%->85%)",
+                  sampled_shift > 15, sampled_shift > 22, sampled_shift,
+                  "pp");
+        }
     }
     // --- Claim 7: promoted-branch faults are rare at threshold 64.
     {

@@ -24,7 +24,7 @@
 # (default .tcsim_cache).
 #
 # Usage: run_benches.sh [--long] [--sweep N] [--inject-kill]
-#                       [--warm-compare]
+#                       [--warm-compare] [--sampled-errors]
 #   --long          raise the default instruction budget to 1M per run
 #                   (statistically meaningful sweeps; an explicit
 #                   TCSIM_INSTS still wins).
@@ -35,12 +35,24 @@
 #                   single-process against the now-warm artifact cache,
 #                   assert the document is byte-identical, and record
 #                   the cold-vs-warm wall-clock in BENCH_results.json.
+#   --sampled-errors (sampled sweep mode) after the merge, run the
+#                   sampled-vs-full error report (each unit simulated
+#                   BOTH ways — expensive), fail if any unit's IPC or
+#                   fetch-rate error exceeds TCSIM_ERROR_TOLERANCE, and
+#                   embed the report in BENCH_results.json.
 #
 # Sweep-mode environment:
 #   TCSIM_SWEEP_ARGS     extra tcsim_sweep matrix args, word-split
 #                        (e.g. "--benchmarks compress,li --configs
 #                        baseline,promotion-t64")
 #   TCSIM_WARMUP         per-unit predictor warm-up instructions
+#   TCSIM_SAMPLED_INTERVAL / TCSIM_SAMPLED_K
+#                        enable SimPoint-style sampled execution: BBV
+#                        interval length and max cluster count (both
+#                        required together; interval must divide the
+#                        budget)
+#   TCSIM_ERROR_TOLERANCE max per-stat relative error for
+#                        --sampled-errors (default 0.05)
 #   TCSIM_CACHE_DIR      artifact cache directory (default
 #                        .tcsim_cache; empty string disables)
 #   TCSIM_UNIT_TIMEOUT   per-unit timeout seconds (default 600)
@@ -50,6 +62,7 @@ cd /root/repo || exit 1
 sweep_shards=0
 inject_kill=0
 warm_compare=0
+sampled_errors=0
 while [ $# -gt 0 ]; do
     case "$1" in
         --long)
@@ -64,6 +77,9 @@ while [ $# -gt 0 ]; do
             ;;
         --warm-compare)
             warm_compare=1
+            ;;
+        --sampled-errors)
+            sampled_errors=1
             ;;
         *)
             echo "unknown option: $1" >&2
@@ -91,6 +107,17 @@ if [ "$sweep_shards" -gt 0 ]; then
     matrix_args=(${TCSIM_SWEEP_ARGS-})
     [ -n "${TCSIM_INSTS:-}" ] && matrix_args+=(--insts "$TCSIM_INSTS")
     [ -n "${TCSIM_WARMUP:-}" ] && matrix_args+=(--warmup "$TCSIM_WARMUP")
+    if [ -n "${TCSIM_SAMPLED_INTERVAL:-}" ] || \
+       [ -n "${TCSIM_SAMPLED_K:-}" ]; then
+        if [ -z "${TCSIM_SAMPLED_INTERVAL:-}" ] || \
+           [ -z "${TCSIM_SAMPLED_K:-}" ]; then
+            echo "TCSIM_SAMPLED_INTERVAL and TCSIM_SAMPLED_K must be" \
+                 "set together" >&2
+            exit 1
+        fi
+        matrix_args+=(--sampled-interval "$TCSIM_SAMPLED_INTERVAL"
+                      --sampled-max-k "$TCSIM_SAMPLED_K")
+    fi
     [ -n "$cache_dir" ] && matrix_args+=(--cache-dir "$cache_dir")
 
     sweep_dir=.sweep.tmp
@@ -204,6 +231,32 @@ if [ "$sweep_shards" -gt 0 ]; then
         echo "sweep: warm rerun byte-identical"
     fi
 
+    # Optional sampled-vs-full error report: re-simulates every unit
+    # both ways, so only ask for it on matrices sized for calibration.
+    error_json=""
+    if [ "$sampled_errors" -eq 1 ]; then
+        tolerance="${TCSIM_ERROR_TOLERANCE:-0.05}"
+        "$sweep_bin" "${matrix_args[@]}" \
+            --error-out "$sweep_dir/errors.json" \
+            --error-tolerance "$tolerance" \
+            > "$sweep_dir/errors.log" 2>&1
+        error_code=$?
+        if [ "$error_code" -ne 0 ] && [ "$error_code" -ne 4 ]; then
+            echo "sampling-error report failed (exit $error_code)" >&2
+            cat "$sweep_dir/errors.log" >&2
+            exit 1
+        fi
+        cp "$sweep_dir/errors.json" SAMPLING_errors.json
+        error_json=$(printf '"sampling_error":%s,' \
+            "$(tr -d '\n' < "$sweep_dir/errors.json")")
+        if [ "$error_code" -eq 4 ]; then
+            echo "sweep: sampling error exceeds tolerance $tolerance" >&2
+            exit 1
+        fi
+        echo "sweep: sampling errors within tolerance $tolerance" \
+             "(SAMPLING_errors.json)"
+    fi
+
     # BENCH_results.json: sweep timing + per-worker cache statistics
     # (the canonical simulation numbers live in SWEEP_results.json;
     # everything here is wall-clock, which is why it is kept apart).
@@ -213,7 +266,8 @@ if [ "$sweep_shards" -gt 0 ]; then
             "$sweep_shards" "$n_units"
         printf '"total_wall_seconds":%d,"retry_passes":%d,' \
             "$total" "$retries_used"
-        printf '"crashed_workers":%d,%s"workers":[' "$crashed" "$warm_json"
+        printf '"crashed_workers":%d,%s%s"workers":[' \
+            "$crashed" "$warm_json" "$error_json"
         first=1
         for f in "$sweep_dir"/timing.*.json; do
             [ -f "$f" ] || continue

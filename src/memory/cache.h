@@ -13,6 +13,7 @@
 #define TCSIM_MEMORY_CACHE_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -114,6 +115,16 @@ class Cache
     void dumpStats(StatDump &dump) const;
 
     void resetStats();
+
+    /**
+     * Serialize / reload the tag array (tags, valid/dirty bits, LRU
+     * state) for warm-start checkpoints. Statistics counters are NOT
+     * part of the state — checkpoint consumers open their measurement
+     * window with resetStats() anyway. restoreState() rejects a blob
+     * from a different geometry.
+     */
+    void saveState(std::ostream &os) const;
+    bool restoreState(std::istream &is);
 
     /** Attach a tracer for `mem` trace points (null disables). */
     void setTracer(obs::Tracer *tracer) { tracer_ = tracer; }

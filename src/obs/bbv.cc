@@ -1,0 +1,124 @@
+#include "obs/bbv.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace tcsim::obs
+{
+
+namespace
+{
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[128];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out.append(buf, static_cast<std::size_t>(n));
+}
+
+} // namespace
+
+std::string
+BbvDocument::toJson() const
+{
+    std::string out;
+    out.reserve(1u << 16);
+    out += "{\"schema\":\"tcsim-bbv-v1\",\"benchmark\":\"";
+    out += benchmark;
+    appendf(out, "\",\"interval_insts\":%" PRIu64 ",\"total_insts\":%" PRIu64
+                 ",\"intervals\":[",
+            intervalInsts, totalInsts);
+    for (std::size_t i = 0; i < intervals.size(); ++i) {
+        const BbvInterval &interval = intervals[i];
+        appendf(out, "%s\n{\"end_insts\":%" PRIu64 ",\"blocks\":[",
+                i == 0 ? "" : ",", interval.endInsts);
+        for (std::size_t b = 0; b < interval.blocks.size(); ++b) {
+            appendf(out, "%s[%" PRIu64 ",%" PRIu64 "]",
+                    b == 0 ? "" : ",", interval.blocks[b].first,
+                    interval.blocks[b].second);
+        }
+        out += "]}";
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+std::optional<BbvDocument>
+BbvDocument::fromJson(const std::string &text)
+{
+    const auto root = json::parse(text);
+    if (!root || !root->isObject() ||
+        root->getString("schema") != "tcsim-bbv-v1") {
+        return std::nullopt;
+    }
+    BbvDocument doc;
+    doc.benchmark = root->getString("benchmark");
+    doc.intervalInsts = root->getUint64("interval_insts");
+    doc.totalInsts = root->getUint64("total_insts");
+    const json::Value *intervals = root->find("intervals");
+    if (doc.intervalInsts == 0 || intervals == nullptr ||
+        !intervals->isArray()) {
+        return std::nullopt;
+    }
+    for (const json::Value &item : intervals->items()) {
+        if (!item.isObject())
+            return std::nullopt;
+        BbvInterval interval;
+        interval.endInsts = item.getUint64("end_insts");
+        const json::Value *blocks = item.find("blocks");
+        if (blocks == nullptr || !blocks->isArray())
+            return std::nullopt;
+        for (const json::Value &pair : blocks->items()) {
+            if (!pair.isArray() || pair.items().size() != 2 ||
+                !pair.items()[0].isNumber() ||
+                !pair.items()[1].isNumber()) {
+                return std::nullopt;
+            }
+            interval.blocks.emplace_back(pair.items()[0].asUint64(),
+                                         pair.items()[1].asUint64());
+        }
+        doc.intervals.push_back(std::move(interval));
+    }
+    return doc;
+}
+
+BbvRecorder::BbvRecorder(std::uint64_t interval_insts)
+    : intervalInsts_(interval_insts)
+{
+    TCSIM_ASSERT(interval_insts > 0, "BBV interval must be positive");
+}
+
+void
+BbvRecorder::boundary(std::uint64_t end_insts)
+{
+    BbvInterval interval;
+    interval.endInsts = end_insts;
+    interval.blocks.assign(counts_.begin(), counts_.end());
+    std::sort(interval.blocks.begin(), interval.blocks.end());
+    intervals_.push_back(std::move(interval));
+    counts_.clear();
+}
+
+BbvDocument
+BbvRecorder::finish(std::string benchmark, std::uint64_t total_insts)
+{
+    BbvDocument doc;
+    doc.benchmark = std::move(benchmark);
+    doc.intervalInsts = intervalInsts_;
+    doc.totalInsts = total_insts;
+    doc.intervals = std::move(intervals_);
+    intervals_.clear();
+    counts_.clear();
+    return doc;
+}
+
+} // namespace tcsim::obs

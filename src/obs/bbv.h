@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Basic-block vector (BBV) collection for SimPoint-style sampled
+ * simulation.
+ *
+ * A BBV is, per retired-instruction interval, the count of retired
+ * instructions attributed to each basic block (keyed by the block
+ * leader's pc / kInstBytes). Program phases show up as clusters in
+ * BBV space, so k-means over these vectors picks a handful of
+ * representative intervals whose weighted stats estimate the full
+ * run (Sherwood et al., "Automatically Characterizing Large Scale
+ * Program Behavior").
+ *
+ * The recorder piggy-backs on the interval engine's boundary scheme
+ * (same nextBoundaryAfter contract as IntervalRecorder) and stores
+ * raw sparse counts; dimension reduction (seeded random projection)
+ * happens at clustering time, so the artifact stays exact and
+ * projection parameters can change without re-profiling.
+ *
+ * Serialized as the `tcsim-bbv-v1` JSON schema:
+ *
+ *   {"schema":"tcsim-bbv-v1","benchmark":...,
+ *    "interval_insts":N,"total_insts":M,
+ *    "intervals":[{"end_insts":..,"blocks":[[block,count],...]},...]}
+ *
+ * with blocks ascending by key and counts summing to the interval
+ * length.
+ */
+
+#ifndef TCSIM_OBS_BBV_H
+#define TCSIM_OBS_BBV_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace tcsim::obs
+{
+
+/** One interval's sparse block histogram. */
+struct BbvInterval
+{
+    std::uint64_t endInsts = 0;
+    /** (block key, retired-instruction count), ascending by key. */
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> blocks;
+};
+
+/** A full profile: every interval of one benchmark run. */
+struct BbvDocument
+{
+    std::string benchmark;
+    std::uint64_t intervalInsts = 0;
+    std::uint64_t totalInsts = 0;
+    std::vector<BbvInterval> intervals;
+
+    /** Render the `tcsim-bbv-v1` JSON document. */
+    std::string toJson() const;
+
+    /** Parse; empty optional on schema mismatch or malformed JSON. */
+    static std::optional<BbvDocument> fromJson(const std::string &text);
+};
+
+/** Accumulates one interval at a time into a BbvDocument. */
+class BbvRecorder
+{
+  public:
+    explicit BbvRecorder(std::uint64_t interval_insts);
+
+    std::uint64_t intervalInsts() const { return intervalInsts_; }
+
+    /** @return the first boundary strictly above @p insts. */
+    std::uint64_t
+    nextBoundaryAfter(std::uint64_t insts) const
+    {
+        return (insts / intervalInsts_ + 1) * intervalInsts_;
+    }
+
+    /** Attribute one retired instruction to @p block_key. */
+    void
+    account(std::uint64_t block_key)
+    {
+        ++counts_[block_key];
+    }
+
+    /** Close the current interval at @p end_insts retired. */
+    void boundary(std::uint64_t end_insts);
+
+    /** Finalize (drops any open partial interval) and take the doc. */
+    BbvDocument finish(std::string benchmark, std::uint64_t total_insts);
+
+  private:
+    std::uint64_t intervalInsts_;
+    std::unordered_map<std::uint64_t, std::uint64_t> counts_;
+    std::vector<BbvInterval> intervals_;
+};
+
+} // namespace tcsim::obs
+
+#endif // TCSIM_OBS_BBV_H

@@ -1,0 +1,375 @@
+#include "sample/simpoints.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <limits>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/rng.h"
+#include "isa/instruction.h"
+#include "workload/executor.h"
+
+namespace tcsim::sample
+{
+
+namespace
+{
+
+void
+appendf(std::string &out, const char *fmt, ...)
+{
+    char buf[192];
+    va_list args;
+    va_start(args, fmt);
+    const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+    va_end(args);
+    out.append(buf, static_cast<std::size_t>(n));
+}
+
+/** Deterministic ±1 projection weight for (block, dimension). */
+int
+projectionSign(std::uint64_t seed, std::uint64_t block, unsigned dim)
+{
+    std::uint64_t s = seed ^ (block * 0x9e3779b97f4a7c15ULL) ^
+                      (static_cast<std::uint64_t>(dim) *
+                       0xc2b2ae3d27d4eb4fULL);
+    return (splitmix64(s) & 1) != 0 ? 1 : -1;
+}
+
+using Point = std::array<double, kProjectionDims>;
+
+double
+dist2(const Point &a, const Point &b)
+{
+    double sum = 0.0;
+    for (unsigned d = 0; d < kProjectionDims; ++d) {
+        const double diff = a[d] - b[d];
+        sum += diff * diff;
+    }
+    return sum;
+}
+
+struct Clustering
+{
+    std::vector<std::uint32_t> assign; ///< point -> cluster
+    std::vector<Point> centers;
+    double rss = 0.0;
+};
+
+/**
+ * Seeded k-means++ initialization + Lloyd iterations. Fixed
+ * iteration order and lowest-index tie-breaks everywhere, so the
+ * result is a pure function of (points, k, seed).
+ */
+Clustering
+kmeans(const std::vector<Point> &points, std::uint32_t k,
+       std::uint64_t seed)
+{
+    const std::size_t n = points.size();
+    Clustering result;
+    result.centers.reserve(k);
+    Rng rng(seed ^ (k * 0x9e3779b97f4a7c15ULL));
+
+    // k-means++ seeding.
+    result.centers.push_back(points[rng.below(n)]);
+    std::vector<double> best_d2(n, 0.0);
+    for (std::uint32_t c = 1; c < k; ++c) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            for (const Point &center : result.centers)
+                best = std::min(best, dist2(points[i], center));
+            best_d2[i] = best;
+            total += best;
+        }
+        std::size_t pick = 0;
+        if (total <= 0.0) {
+            pick = rng.below(n);
+        } else {
+            const double r = rng.uniform() * total;
+            double prefix = 0.0;
+            pick = n - 1; // numeric fallback
+            for (std::size_t i = 0; i < n; ++i) {
+                prefix += best_d2[i];
+                if (prefix > r) {
+                    pick = i;
+                    break;
+                }
+            }
+        }
+        result.centers.push_back(points[pick]);
+    }
+
+    // Lloyd iterations until stable (bounded for safety).
+    result.assign.assign(n, 0);
+    std::vector<std::uint64_t> sizes(k, 0);
+    std::vector<Point> sums(k);
+    for (unsigned iter = 0; iter < 64; ++iter) {
+        bool changed = iter == 0;
+        for (std::size_t i = 0; i < n; ++i) {
+            std::uint32_t best_c = 0;
+            double best = dist2(points[i], result.centers[0]);
+            for (std::uint32_t c = 1; c < k; ++c) {
+                const double d = dist2(points[i], result.centers[c]);
+                if (d < best) { // strict: ties keep the lowest index
+                    best = d;
+                    best_c = c;
+                }
+            }
+            if (result.assign[i] != best_c) {
+                result.assign[i] = best_c;
+                changed = true;
+            }
+        }
+        if (!changed)
+            break;
+        std::fill(sizes.begin(), sizes.end(), 0);
+        for (Point &sum : sums)
+            sum.fill(0.0);
+        for (std::size_t i = 0; i < n; ++i) {
+            ++sizes[result.assign[i]];
+            for (unsigned d = 0; d < kProjectionDims; ++d)
+                sums[result.assign[i]][d] += points[i][d];
+        }
+        for (std::uint32_t c = 0; c < k; ++c) {
+            if (sizes[c] == 0)
+                continue; // empty cluster keeps its previous center
+            for (unsigned d = 0; d < kProjectionDims; ++d)
+                result.centers[c][d] =
+                    sums[c][d] / static_cast<double>(sizes[c]);
+        }
+    }
+
+    result.rss = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        result.rss += dist2(points[i], result.centers[result.assign[i]]);
+    return result;
+}
+
+/**
+ * Fraction of the swept score range a candidate k may sit above the
+ * best score and still be picked (smallest such k wins). Mirrors
+ * SimPoint's "smallest k with BIC >= 90% of the best" rule.
+ */
+constexpr double kScoreBand = 0.10;
+
+/** BIC-style model score: lower is better. */
+double
+bicScore(double rss, std::size_t n, std::uint32_t k)
+{
+    const double nd = static_cast<double>(n) * kProjectionDims;
+    const double variance = std::max(rss / nd, 1e-12);
+    return nd * std::log(variance) +
+           static_cast<double>(k) * (kProjectionDims + 1) *
+               std::log(static_cast<double>(n));
+}
+
+} // namespace
+
+obs::BbvDocument
+profileBbv(const workload::Program &program, const std::string &benchmark,
+           std::uint64_t total_insts, std::uint64_t interval_insts)
+{
+    TCSIM_ASSERT(interval_insts > 0 && total_insts % interval_insts == 0,
+                 "BBV interval (%llu) must divide the budget (%llu)",
+                 static_cast<unsigned long long>(interval_insts),
+                 static_cast<unsigned long long>(total_insts));
+    obs::BbvRecorder recorder(interval_insts);
+    workload::FunctionalExecutor exec(program);
+    Addr leader = program.entry();
+    std::uint64_t boundary = interval_insts;
+    while (exec.instCount() < total_insts && !exec.halted()) {
+        const workload::StepResult step = exec.step();
+        recorder.account(leader / isa::kInstBytes);
+        // A block ends at any control instruction; the next
+        // instruction leads a new block.
+        if (isa::isControl(step.inst.op))
+            leader = step.nextPc;
+        if (exec.instCount() == boundary) {
+            recorder.boundary(boundary);
+            boundary += interval_insts;
+        }
+    }
+    // Only whole intervals count (an early halt drops the tail).
+    const std::uint64_t covered =
+        (exec.instCount() / interval_insts) * interval_insts;
+    return recorder.finish(benchmark, covered);
+}
+
+std::vector<Point>
+projectBbv(const obs::BbvDocument &doc, std::uint64_t seed)
+{
+    std::vector<Point> points;
+    points.reserve(doc.intervals.size());
+    for (const obs::BbvInterval &interval : doc.intervals) {
+        std::array<std::int64_t, kProjectionDims> acc{};
+        std::uint64_t total = 0;
+        for (const auto &[block, count] : interval.blocks) {
+            total += count;
+            for (unsigned d = 0; d < kProjectionDims; ++d) {
+                acc[d] += projectionSign(seed, block, d) *
+                          static_cast<std::int64_t>(count);
+            }
+        }
+        Point point{};
+        const double norm =
+            total == 0 ? 1.0 : static_cast<double>(total);
+        for (unsigned d = 0; d < kProjectionDims; ++d)
+            point[d] = static_cast<double>(acc[d]) / norm;
+        points.push_back(point);
+    }
+    return points;
+}
+
+std::string
+SimpointPlan::toJson() const
+{
+    std::string out;
+    out.reserve(1u << 12);
+    out += "{\"schema\":\"tcsim-simpoints-v1\",\"benchmark\":\"";
+    out += benchmark;
+    out += "\",\"program_fingerprint\":\"";
+    out += programFingerprint;
+    appendf(out,
+            "\",\"algo_version\":%" PRIu32 ",\"interval_insts\":%" PRIu64
+            ",\"total_insts\":%" PRIu64 ",\"num_intervals\":%" PRIu32
+            ",\"k\":%" PRIu32 ",\"simpoints\":[",
+            kSimpointsAlgoVersion, intervalInsts, totalInsts,
+            numIntervals, k);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        const Simpoint &pt = points[i];
+        appendf(out,
+                "%s\n{\"index\":%" PRIu32 ",\"start_insts\":%" PRIu64
+                ",\"cluster\":%" PRIu32 ",\"weight_num\":%" PRIu64
+                ",\"weight_den\":%" PRIu64 "}",
+                i == 0 ? "" : ",", pt.index, pt.startInsts, pt.cluster,
+                pt.weightNum, pt.weightDen);
+    }
+    out += "\n]}\n";
+    return out;
+}
+
+std::optional<SimpointPlan>
+SimpointPlan::fromJson(const std::string &text)
+{
+    const auto root = json::parse(text);
+    if (!root || !root->isObject() ||
+        root->getString("schema") != "tcsim-simpoints-v1" ||
+        root->getUint64("algo_version") != kSimpointsAlgoVersion) {
+        return std::nullopt;
+    }
+    SimpointPlan plan;
+    plan.benchmark = root->getString("benchmark");
+    plan.programFingerprint = root->getString("program_fingerprint");
+    plan.intervalInsts = root->getUint64("interval_insts");
+    plan.totalInsts = root->getUint64("total_insts");
+    plan.numIntervals =
+        static_cast<std::uint32_t>(root->getUint64("num_intervals"));
+    plan.k = static_cast<std::uint32_t>(root->getUint64("k"));
+    const json::Value *points = root->find("simpoints");
+    if (plan.intervalInsts == 0 || points == nullptr || !points->isArray())
+        return std::nullopt;
+    for (const json::Value &item : points->items()) {
+        if (!item.isObject())
+            return std::nullopt;
+        Simpoint pt;
+        pt.index = static_cast<std::uint32_t>(item.getUint64("index"));
+        pt.startInsts = item.getUint64("start_insts");
+        pt.cluster = static_cast<std::uint32_t>(item.getUint64("cluster"));
+        pt.weightNum = item.getUint64("weight_num");
+        pt.weightDen = item.getUint64("weight_den");
+        plan.points.push_back(pt);
+    }
+    if (plan.points.size() != plan.k)
+        return std::nullopt;
+    return plan;
+}
+
+SimpointPlan
+selectSimpoints(const obs::BbvDocument &doc,
+                const std::string &program_fingerprint,
+                std::uint32_t max_k, std::uint64_t seed)
+{
+    const std::size_t n = doc.intervals.size();
+    TCSIM_ASSERT(n > 0, "cannot select simpoints from an empty profile");
+    TCSIM_ASSERT(max_k > 0, "max_k must be positive");
+    const std::vector<Point> points = projectBbv(doc, seed);
+
+    const auto cap = static_cast<std::uint32_t>(
+        std::min<std::size_t>(max_k, n));
+    // SimPoint's k-selection rule: score every k, then take the
+    // SMALLEST k whose score lands within a fixed fraction of the
+    // swept score range of the best. Picking the raw argmin
+    // over-selects badly — with few intervals the likelihood term
+    // dwarfs the BIC penalty and k runs away to max_k, which costs
+    // detailed-simulation time for no accuracy (more regions = more
+    // cold starts) — while the banded rule stops at the elbow.
+    std::vector<Clustering> candidates;
+    std::vector<double> scores;
+    candidates.reserve(cap);
+    for (std::uint32_t k = 1; k <= cap; ++k) {
+        candidates.push_back(kmeans(points, k, seed));
+        scores.push_back(bicScore(candidates.back().rss, n, k));
+    }
+    const double lo = *std::min_element(scores.begin(), scores.end());
+    const double hi = *std::max_element(scores.begin(), scores.end());
+    const double threshold = lo + kScoreBand * (hi - lo);
+    std::uint32_t best_k = cap;
+    for (std::uint32_t k = 1; k <= cap; ++k) {
+        if (scores[k - 1] <= threshold) {
+            best_k = k;
+            break;
+        }
+    }
+    Clustering best = std::move(candidates[best_k - 1]);
+
+    // Representative per cluster: the member closest to the centroid
+    // (ties -> lowest interval index).
+    std::vector<std::uint64_t> sizes(best_k, 0);
+    for (const std::uint32_t c : best.assign)
+        ++sizes[c];
+    std::vector<std::int64_t> rep(best_k, -1);
+    std::vector<double> rep_d2(best_k,
+                               std::numeric_limits<double>::infinity());
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint32_t c = best.assign[i];
+        const double d = dist2(points[i], best.centers[c]);
+        if (d < rep_d2[c]) {
+            rep_d2[c] = d;
+            rep[c] = static_cast<std::int64_t>(i);
+        }
+    }
+
+    SimpointPlan plan;
+    plan.benchmark = doc.benchmark;
+    plan.programFingerprint = program_fingerprint;
+    plan.intervalInsts = doc.intervalInsts;
+    plan.totalInsts = doc.totalInsts;
+    plan.numIntervals = static_cast<std::uint32_t>(n);
+    for (std::uint32_t c = 0; c < best_k; ++c) {
+        if (sizes[c] == 0)
+            continue; // Lloyd can strand a seed; drop empty clusters
+        TCSIM_ASSERT(rep[c] >= 0);
+        Simpoint pt;
+        pt.index = static_cast<std::uint32_t>(rep[c]);
+        pt.startInsts = pt.index * doc.intervalInsts;
+        pt.weightNum = sizes[c];
+        pt.weightDen = n;
+        plan.points.push_back(pt);
+    }
+    std::sort(plan.points.begin(), plan.points.end(),
+              [](const Simpoint &a, const Simpoint &b) {
+                  return a.index < b.index;
+              });
+    // Renumber clusters in plan order so serialized ids are stable.
+    plan.k = static_cast<std::uint32_t>(plan.points.size());
+    for (std::uint32_t c = 0; c < plan.k; ++c)
+        plan.points[c].cluster = c;
+    return plan;
+}
+
+} // namespace tcsim::sample

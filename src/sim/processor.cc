@@ -1855,6 +1855,139 @@ Processor::intervalCounters() const
 }
 
 void
+Processor::warmStart(const workload::ArchCheckpoint &ckpt)
+{
+    TCSIM_ASSERT(cycle_ == 0 && retiredInsts_ == 0 && robOrder_.empty(),
+                 "warmStart requires a pristine processor");
+    TCSIM_ASSERT(!ckpt.halted, "cannot warm-start at a halted program");
+
+    // Reposition the oracle at the checkpoint.
+    oracle_->memory().clear();
+    for (const auto &[index, bytes] : ckpt.pages)
+        oracle_->memory().writePage(index, bytes.data());
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        oracle_->setReg(static_cast<RegIndex>(r), ckpt.regs[r]);
+    oracle_->restoreExecPoint(ckpt.pc, ckpt.instIndex, ckpt.halted);
+
+    // Committed mirrors.
+    memory_.copyFrom(oracle_->memory());
+    archRegs_ = ckpt.regs;
+    archHistory_ = ckpt.history;
+    archRas_.assign(ckpt.ras.begin(), ckpt.ras.end());
+
+    // The oracle ring is empty and starts at the checkpoint index.
+    oracleBase_ = ckpt.instIndex;
+    oracleCount_ = 0;
+    oracleFetchIdx_ = ckpt.instIndex;
+    oracleRetireIdx_ = ckpt.instIndex;
+    onTruePath_ = true;
+
+    // Speculative state from the committed mirrors — the rebuild
+    // recovery performs, minus in-flight writers (the window is
+    // empty).
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        rat_[r] = RatEntry{true, archRegs_[r], kInvalidSeqNum};
+    frontEnd_.history.restore(archHistory_);
+    rasScratch_.assign(archRas_.begin(), archRas_.end());
+    frontEnd_.ras.assignSwap(rasScratch_);
+    fetchPc_ = ckpt.pc;
+
+    retiredInsts_ = ckpt.instIndex;
+    statBaseCycle_ = cycle_;
+    statBaseInsts_ = retiredInsts_;
+    if (intervals_ != nullptr)
+        intervalNextAt_ = intervals_->nextBoundaryAfter(retiredInsts_);
+}
+
+void
+Processor::functionalWarmup(std::uint64_t until)
+{
+    TCSIM_ASSERT(cycle_ == 0 && robOrder_.empty() && oracleCount_ == 0,
+                 "functionalWarmup requires a pre-run processor");
+    TCSIM_ASSERT(oracle_->instCount() == retiredInsts_,
+                 "oracle out of sync with the committed position");
+    TCSIM_ASSERT(until >= retiredInsts_);
+
+    // Leader = the fetch-group start address the detailed front end
+    // would use for a segment beginning at this block. Training the
+    // position-0 counter at (leader, history-at-leader) warms exactly
+    // the entries segment-start predictions consult.
+    Addr leader = oracle_->pc();
+    std::uint64_t leader_hist = archHistory_;
+    while (oracle_->instCount() < until && !oracle_->halted()) {
+        const workload::StepResult step = oracle_->step();
+        const Opcode op = step.inst.op;
+
+        hierarchy_.icache().access(step.pc, false, cycle_);
+        if (isa::isMem(op) && step.memAddr != kInvalidAddr)
+            hierarchy_.dcache().access(step.memAddr, isa::isStore(op),
+                                       cycle_);
+
+        if (isa::isCondBranch(op)) {
+            if (mbp_ != nullptr) {
+                bpred::MbpCtx ctx;
+                ctx.fetchAddr = leader;
+                ctx.history = leader_hist;
+                ctx.position = 0;
+                ctx.path = 0;
+                ctx.prediction = mbp_->predict(leader, leader_hist, 0, 0);
+                mbp_->update(ctx, step.taken);
+            }
+            if (hybrid_ != nullptr) {
+                const bpred::HybridCtx ctx =
+                    hybrid_->predict(step.pc, archHistory_);
+                hybrid_->update(step.pc, ctx, step.taken);
+            }
+            archHistory_ = (archHistory_ << 1) |
+                           static_cast<std::uint64_t>(step.taken);
+        } else if (isa::isCall(op)) {
+            archRas_.push_back(step.pc + isa::kInstBytes);
+        } else if (isa::isReturn(op)) {
+            if (!archRas_.empty())
+                archRas_.pop_back();
+        } else if (isa::isIndirectJump(op)) {
+            frontEnd_.indirect.update(step.pc, step.nextPc);
+        }
+
+        if (fillUnit_ != nullptr) {
+            trace::RetiredInst retired;
+            retired.inst = step.inst;
+            retired.pc = step.pc;
+            retired.taken = step.taken;
+            fillUnit_->retire(retired);
+        }
+
+        if (isa::isControl(op)) {
+            leader = step.nextPc;
+            leader_hist = archHistory_;
+        }
+    }
+    TCSIM_ASSERT(oracle_->instCount() == until,
+                 "program halted inside the functional warm-up window");
+
+    // Committed mirrors and speculative resync, as in warmStart().
+    memory_.copyFrom(oracle_->memory());
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        archRegs_[r] = oracle_->reg(static_cast<RegIndex>(r));
+    oracleBase_ = oracle_->instCount();
+    oracleCount_ = 0;
+    oracleFetchIdx_ = oracleBase_;
+    oracleRetireIdx_ = oracleBase_;
+    onTruePath_ = true;
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        rat_[r] = RatEntry{true, archRegs_[r], kInvalidSeqNum};
+    frontEnd_.history.restore(archHistory_);
+    rasScratch_.assign(archRas_.begin(), archRas_.end());
+    frontEnd_.ras.assignSwap(rasScratch_);
+    fetchPc_ = oracle_->pc();
+    retiredInsts_ = oracleBase_;
+    statBaseCycle_ = cycle_;
+    statBaseInsts_ = retiredInsts_;
+    if (intervals_ != nullptr)
+        intervalNextAt_ = intervals_->nextBoundaryAfter(retiredInsts_);
+}
+
+void
 Processor::resetStats()
 {
     accounting_.reset();
@@ -1929,6 +2062,51 @@ Processor::importPredictorState(std::istream &is)
         return false;
     }
     if (fillUnit_ != nullptr && !fillUnit_->restoreTrainingState(is))
+        return false;
+    return true;
+}
+
+namespace
+{
+
+constexpr char kWarmStateMagic[8] = {'T', 'C', 'W', 'A', 'R', 'M', 'v', '1'};
+
+} // namespace
+
+void
+Processor::exportWarmState(std::ostream &os) const
+{
+    binio::writeMagic(os, kWarmStateMagic);
+    exportPredictorState(os);
+    frontEnd_.indirect.saveState(os);
+    hierarchy_.icache().saveState(os);
+    hierarchy_.dcache().saveState(os);
+    hierarchy_.l2().saveState(os);
+    binio::writeScalar<std::uint8_t>(os, traceCache_ ? 1 : 0);
+    if (traceCache_ != nullptr)
+        traceCache_->saveState(os);
+}
+
+bool
+Processor::importWarmState(std::istream &is)
+{
+    if (!binio::expectMagic(is, kWarmStateMagic))
+        return false;
+    if (!importPredictorState(is))
+        return false;
+    if (!frontEnd_.indirect.restoreState(is))
+        return false;
+    if (!hierarchy_.icache().restoreState(is) ||
+        !hierarchy_.dcache().restoreState(is) ||
+        !hierarchy_.l2().restoreState(is)) {
+        return false;
+    }
+    std::uint8_t have_tc = 0;
+    if (!binio::readScalar(is, have_tc) ||
+        (have_tc != 0) != (traceCache_ != nullptr)) {
+        return false;
+    }
+    if (traceCache_ != nullptr && !traceCache_->restoreState(is))
         return false;
     return true;
 }

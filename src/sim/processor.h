@@ -53,6 +53,7 @@
 #include "sim/config.h"
 #include "trace/fill_unit.h"
 #include "trace/trace_cache.h"
+#include "workload/archstate.h"
 #include "workload/executor.h"
 #include "workload/program.h"
 
@@ -109,11 +110,53 @@ class Processor
     bool importPredictorState(std::istream &is);
 
     /**
+     * Serialize the FULL warm microarchitectural state: the predictor
+     * state above plus the indirect-target table, the cache tag
+     * arrays (I/D/L2) and the trace-cache contents. This is what a
+     * sampled-simulation region needs to start as if the whole prefix
+     * had executed; produced by a functional-warming pass (see
+     * functionalWarmup) and imported into a fresh processor of the
+     * same configuration. Same failure contract as
+     * importPredictorState().
+     */
+    void exportWarmState(std::ostream &os) const;
+    bool importWarmState(std::istream &is);
+
+    /**
      * Zero all statistics while keeping microarchitectural state
      * (caches, predictors, bias table, in-flight window): run a
      * warm-up phase, reset, then measure a steady-state window.
      */
     void resetStats();
+
+    /**
+     * Warm-start a pristine processor at an architectural checkpoint
+     * (sampled simulation): the oracle, committed mirrors (registers,
+     * memory, history, RAS) and speculative front-end state are all
+     * repositioned at ckpt.instIndex as if the prefix had retired,
+     * with cold caches and predictors. run(N) afterwards treats N as
+     * an absolute retired-instruction index, so a representative
+     * region [S, S+L) is `warmStart(ckpt_at_S); run(S + L)`. Must be
+     * called before any cycle has been simulated.
+     */
+    void warmStart(const workload::ArchCheckpoint &ckpt);
+
+    /**
+     * Functionally fast-forward committed state from the current
+     * position to absolute retired-instruction index @p until while
+     * warming the trainable structures (SMARTS-style functional
+     * warming): each functionally-executed instruction applies the
+     * retire-time updates a detailed run would — branch-predictor
+     * training, indirect-target updates, fill-unit trace construction
+     * (which also fills the trace cache and trains the bias table) —
+     * and touches the instruction/data cache tags, without simulating
+     * any pipeline cycles. Warms exactly the state exportWarmState()
+     * captures. Callable repeatedly with ascending @p until on a
+     * never-cycled processor, so one warming pass can emit checkpoints
+     * at several positions. Fatal if the program halts before
+     * @p until.
+     */
+    void functionalWarmup(std::uint64_t until);
 
     // ------------------------------------------------------------------
     // Observability (all opt-in; null pointers keep the hot paths at

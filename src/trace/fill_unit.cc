@@ -23,6 +23,10 @@ FillUnit::FillUnit(const FillUnitParams &params, TraceCache &cache)
     : params_(params), cache_(cache), biasTable_(params.biasTable)
 {
     TCSIM_ASSERT(params_.packingGranule >= 1);
+    // Segment assembly runs on every retired instruction; size the
+    // scratch buffers once so the steady state never reallocates.
+    pending_.insts.reserve(kMaxSegmentInsts);
+    curBlock_.reserve(2 * kMaxSegmentInsts);
 }
 
 void
@@ -229,8 +233,11 @@ FillUnit::finalize(FillReason reason)
                  pending_.size(), pending_.numBlockBranches,
                  fillReasonName(reason));
     ++reasonCounts_[static_cast<unsigned>(reason)];
+    // insert() swaps the replaced way's segment back into pending_;
+    // resetForReuse() keeps that buffer's capacity for the next
+    // segment instead of allocating one per insert.
     cache_.insert(std::move(pending_));
-    pending_ = TraceSegment{};
+    pending_.resetForReuse();
 }
 
 void

@@ -32,6 +32,17 @@ TraceSegment::packBranchMeta()
     blockBranchDirs = dirs;
 }
 
+void
+TraceSegment::resetForReuse()
+{
+    startAddr = kInvalidAddr;
+    insts.clear();
+    reason = FillReason::MaxSize;
+    numBlockBranches = 0;
+    hasTightBackwardBranch = false;
+    blockBranchDirs = 0;
+}
+
 std::string
 TraceSegment::toString() const
 {

@@ -95,6 +95,13 @@ struct TraceSegment
     /** Recompute blockBranchDirs from insts (idempotent). */
     void packBranchMeta();
 
+    /**
+     * Reset to the freshly-constructed state while keeping the insts
+     * vector's capacity, so a builder reusing one segment object does
+     * not allocate per segment.
+     */
+    void resetForReuse();
+
     /** @return a one-line summary for debugging. */
     std::string toString() const;
 };

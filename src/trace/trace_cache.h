@@ -12,6 +12,7 @@
 #define TCSIM_TRACE_TRACE_CACHE_H
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "common/stats.h"
@@ -61,9 +62,13 @@ class TraceCache
 
     /**
      * Insert @p segment, replacing any same-start segment in its set,
-     * else the LRU way.
+     * else the LRU way. The argument is consumed by swapping with the
+     * replaced way, handing its instruction buffer back to the caller:
+     * a fill unit that resets and reuses the same segment object
+     * recycles capacity instead of allocating per insert. The
+     * segment's contents after the call are unspecified.
      */
-    void insert(TraceSegment segment);
+    void insert(TraceSegment &&segment);
 
     /** Invalidate everything. */
     void flush();
@@ -105,6 +110,14 @@ class TraceCache
     {
         lookups_ = hits_ = inserts_ = sameStartReplacements_ = 0;
     }
+
+    /**
+     * Serialize / reload the resident segments and LRU state for
+     * warm-start checkpoints. Statistics counters are NOT part of the
+     * state. restoreState() rejects a blob from a different geometry.
+     */
+    void saveState(std::ostream &os) const;
+    bool restoreState(std::istream &is);
 
   private:
     struct Way

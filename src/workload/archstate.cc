@@ -1,0 +1,157 @@
+#include "workload/archstate.h"
+
+#include <sstream>
+
+#include "common/binio.h"
+#include "common/log.h"
+
+namespace tcsim::workload
+{
+
+namespace
+{
+
+constexpr char kMagic[] = "TCARCKP1";
+constexpr std::uint32_t kVersion = 1;
+
+} // namespace
+
+std::string
+ArchCheckpoint::serialize() const
+{
+    std::ostringstream os(std::ios::binary);
+    binio::writeMagic(os, kMagic);
+    binio::writeScalar(os, kVersion);
+    binio::writeScalar(os, instIndex);
+    binio::writeScalar(os, pc);
+    binio::writeScalar(os, static_cast<std::uint8_t>(halted));
+    binio::writeScalar(os, static_cast<std::uint32_t>(regs.size()));
+    for (const RegVal reg : regs)
+        binio::writeScalar(os, reg);
+    binio::writeScalar(os, history);
+    binio::writeScalar(os, static_cast<std::uint64_t>(ras.size()));
+    for (const Addr addr : ras)
+        binio::writeScalar(os, addr);
+    binio::writeScalar(os, static_cast<std::uint64_t>(pages.size()));
+    for (const auto &[index, bytes] : pages) {
+        TCSIM_ASSERT(bytes.size() == SparseMemory::kPageBytes);
+        binio::writeScalar(os, index);
+        os.write(reinterpret_cast<const char *>(bytes.data()),
+                 static_cast<std::streamsize>(bytes.size()));
+    }
+    return os.str();
+}
+
+std::optional<ArchCheckpoint>
+ArchCheckpoint::deserialize(const std::string &blob)
+{
+    std::istringstream is(blob, std::ios::binary);
+    if (!binio::expectMagic(is, kMagic))
+        return std::nullopt;
+    std::uint32_t version = 0;
+    if (!binio::readScalar(is, version) || version != kVersion)
+        return std::nullopt;
+
+    ArchCheckpoint ckpt;
+    std::uint8_t halted_byte = 0;
+    std::uint32_t num_regs = 0;
+    if (!binio::readScalar(is, ckpt.instIndex) ||
+        !binio::readScalar(is, ckpt.pc) ||
+        !binio::readScalar(is, halted_byte) ||
+        !binio::readScalar(is, num_regs) ||
+        num_regs != ckpt.regs.size()) {
+        return std::nullopt;
+    }
+    ckpt.halted = halted_byte != 0;
+    for (RegVal &reg : ckpt.regs) {
+        if (!binio::readScalar(is, reg))
+            return std::nullopt;
+    }
+
+    std::uint64_t ras_size = 0;
+    if (!binio::readScalar(is, ckpt.history) ||
+        !binio::readScalar(is, ras_size) || ras_size > (1u << 20)) {
+        return std::nullopt;
+    }
+    ckpt.ras.resize(ras_size);
+    for (Addr &addr : ckpt.ras) {
+        if (!binio::readScalar(is, addr))
+            return std::nullopt;
+    }
+
+    std::uint64_t num_pages = 0;
+    if (!binio::readScalar(is, num_pages) || num_pages > (1u << 24))
+        return std::nullopt;
+    ckpt.pages.resize(num_pages);
+    Addr prev_index = 0;
+    bool first = true;
+    for (auto &[index, bytes] : ckpt.pages) {
+        if (!binio::readScalar(is, index))
+            return std::nullopt;
+        if (!first && index <= prev_index)
+            return std::nullopt; // must be strictly ascending
+        first = false;
+        prev_index = index;
+        bytes.resize(SparseMemory::kPageBytes);
+        is.read(reinterpret_cast<char *>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+        if (!is)
+            return std::nullopt;
+    }
+    // No trailing garbage.
+    is.peek();
+    if (!is.eof())
+        return std::nullopt;
+    return ckpt;
+}
+
+ArchStateWalker::ArchStateWalker(const Program &program) : exec_(program)
+{
+}
+
+void
+ArchStateWalker::advanceTo(std::uint64_t inst_index)
+{
+    TCSIM_ASSERT(inst_index >= exec_.instCount(),
+                 "ArchStateWalker cannot rewind (at %llu, asked %llu)",
+                 static_cast<unsigned long long>(exec_.instCount()),
+                 static_cast<unsigned long long>(inst_index));
+    while (exec_.instCount() < inst_index && !exec_.halted()) {
+        const StepResult step = exec_.step();
+        // Mirror the timing processor's retired-stream bookkeeping
+        // (processor.cc retireOne): history shifts on conditional
+        // branches, calls push / returns pop the committed RAS.
+        const isa::Opcode op = step.inst.op;
+        if (isa::isCondBranch(op)) {
+            history_ = (history_ << 1) |
+                       static_cast<std::uint64_t>(step.taken);
+        } else if (isa::isCall(op)) {
+            ras_.push_back(step.pc + isa::kInstBytes);
+        } else if (isa::isReturn(op)) {
+            if (!ras_.empty())
+                ras_.pop_back();
+        }
+    }
+}
+
+ArchCheckpoint
+ArchStateWalker::capture() const
+{
+    ArchCheckpoint ckpt;
+    ckpt.instIndex = exec_.instCount();
+    ckpt.pc = exec_.pc();
+    ckpt.halted = exec_.halted();
+    for (unsigned r = 0; r < isa::kNumArchRegs; ++r)
+        ckpt.regs[r] = exec_.reg(static_cast<RegIndex>(r));
+    ckpt.history = history_;
+    ckpt.ras = ras_;
+    for (const Addr index : exec_.memory().pageIndices()) {
+        const std::uint8_t *data = exec_.memory().pageData(index);
+        ckpt.pages.emplace_back(
+            index, std::vector<std::uint8_t>(
+                       data, data + SparseMemory::kPageBytes));
+    }
+    return ckpt;
+}
+
+} // namespace tcsim::workload

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Architectural checkpoints for sampled simulation.
+ *
+ * An ArchCheckpoint is a complete snapshot of program-visible state
+ * after exactly N retired instructions: PC, registers, the sparse
+ * memory image, plus the two pieces of front-end history that the
+ * timing processor mirrors at retire time (the global conditional-
+ * branch history and the committed call/return stack). It is a pure
+ * function of (program, N) — configuration-independent — so one
+ * cached checkpoint warm-starts every configuration in a sweep.
+ *
+ * The ArchStateWalker produces checkpoints by functional execution
+ * (tens of millions of instructions per second, versus the timing
+ * model's ~1M/s), which is what makes SimPoint-style sampling pay:
+ * fast-forwarding to a representative region costs functional speed,
+ * and only the region itself runs on the detailed model.
+ *
+ * Serialized blobs ("TCARCKP1") are stored in the content-addressed
+ * artifact cache under kind "archckpt"; the cache layer adds its own
+ * checksum, so deserialization here only validates structure.
+ */
+
+#ifndef TCSIM_WORKLOAD_ARCHSTATE_H
+#define TCSIM_WORKLOAD_ARCHSTATE_H
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "workload/executor.h"
+#include "workload/program.h"
+
+namespace tcsim::workload
+{
+
+/** Program-visible state after instIndex retired instructions. */
+struct ArchCheckpoint
+{
+    std::uint64_t instIndex = 0;
+    Addr pc = 0;
+    bool halted = false;
+    std::array<RegVal, isa::kNumArchRegs> regs{};
+    /** Retired conditional-branch direction history (newest in bit 0). */
+    std::uint64_t history = 0;
+    /** Committed return-address stack (calls push, returns pop). */
+    std::vector<Addr> ras;
+    /** Memory image as (page index, 4 KB bytes), ascending by index. */
+    std::vector<std::pair<Addr, std::vector<std::uint8_t>>> pages;
+
+    /** Serialize to the "TCARCKP1" binary blob. */
+    std::string serialize() const;
+
+    /** Parse a blob; empty optional on any structural mismatch. */
+    static std::optional<ArchCheckpoint> deserialize(const std::string &blob);
+};
+
+/**
+ * Functional executor plus the retired-stream history/RAS mirror,
+ * advanced monotonically; capture() snapshots an ArchCheckpoint at
+ * the current position. One walker pass can emit checkpoints at many
+ * positions (sorted ascending) without re-executing the prefix.
+ */
+class ArchStateWalker
+{
+  public:
+    explicit ArchStateWalker(const Program &program);
+    explicit ArchStateWalker(Program &&) = delete;
+
+    /** Execute until @p inst_index instructions have retired (or the
+     * program halts). @p inst_index must not be behind the walker. */
+    void advanceTo(std::uint64_t inst_index);
+
+    /** Snapshot the current architectural state. */
+    ArchCheckpoint capture() const;
+
+    std::uint64_t instCount() const { return exec_.instCount(); }
+    bool halted() const { return exec_.halted(); }
+    const FunctionalExecutor &executor() const { return exec_; }
+
+  private:
+    FunctionalExecutor exec_;
+    std::vector<Addr> ras_;
+    std::uint64_t history_ = 0;
+};
+
+} // namespace tcsim::workload
+
+#endif // TCSIM_WORKLOAD_ARCHSTATE_H

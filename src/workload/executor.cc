@@ -1,6 +1,8 @@
 #include "workload/executor.h"
 
+#include <algorithm>
 #include <cstring>
+#include <vector>
 
 #include "common/log.h"
 
@@ -15,6 +17,25 @@ SparseMemory::initFrom(const Program &program)
 {
     for (const auto &[addr, value] : program.initData())
         store(addr, value);
+}
+
+std::vector<Addr>
+SparseMemory::pageIndices() const
+{
+    std::vector<Addr> indices;
+    indices.reserve(pages_.size());
+    for (const auto &[index, page] : pages_)
+        indices.push_back(index);
+    std::sort(indices.begin(), indices.end());
+    return indices;
+}
+
+void
+SparseMemory::copyFrom(const SparseMemory &other)
+{
+    pages_.clear();
+    for (const auto &[index, page] : other.pages_)
+        pages_[index] = std::make_unique<Page>(*page);
 }
 
 FunctionalExecutor::FunctionalExecutor(const Program &program)

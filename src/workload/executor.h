@@ -18,6 +18,7 @@
 #include <cstring>
 #include <memory>
 #include <unordered_map>
+#include <vector>
 
 #include "common/types.h"
 #include "isa/instruction.h"
@@ -67,6 +68,33 @@ class SparseMemory
 
     /** @return the number of mapped pages. */
     std::size_t numPages() const { return pages_.size(); }
+
+    /** @return mapped page indices in ascending order. */
+    std::vector<Addr> pageIndices() const;
+
+    /** @return the raw bytes of mapped page @p page_index (or null). */
+    const std::uint8_t *
+    pageData(Addr page_index) const
+    {
+        const auto it = pages_.find(page_index);
+        return it == pages_.end() ? nullptr : it->second->data();
+    }
+
+    /** Overwrite (mapping if needed) page @p page_index wholesale. */
+    void
+    writePage(Addr page_index, const std::uint8_t *bytes)
+    {
+        auto &slot = pages_[page_index];
+        if (!slot)
+            slot = std::make_unique<Page>();
+        std::memcpy(slot->data(), bytes, kPageBytes);
+    }
+
+    /** Drop every mapped page. */
+    void clear() { pages_.clear(); }
+
+    /** Replace this image with a deep copy of @p other. */
+    void copyFrom(const SparseMemory &other);
 
   private:
     using Page = std::array<std::uint8_t, kPageBytes>;
@@ -138,6 +166,19 @@ class FunctionalExecutor
 
     /** @return instructions executed so far. */
     std::uint64_t instCount() const { return instCount_; }
+
+    /**
+     * Reposition execution at an architectural checkpoint: the caller
+     * restores registers (setReg) and memory (memory()) separately.
+     * Only valid with state captured from the same program.
+     */
+    void
+    restoreExecPoint(Addr pc, std::uint64_t inst_count, bool halted)
+    {
+        pc_ = pc;
+        instCount_ = inst_count;
+        halted_ = halted;
+    }
 
     /**
      * Pure computation of an instruction's results against arbitrary

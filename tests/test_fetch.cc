@@ -319,7 +319,7 @@ TEST(FetchTrace, PromotedBranchConsumesNoPrediction)
     tail.inst = isa::Instruction{Opcode::Add, 10, 11, 12, 0};
     tail.pc = isa::directTarget(promoted.inst, promoted.pc);
     seg.insts.push_back(tail);
-    rig.traceCache->insert(seg);
+    rig.traceCache->insert(std::move(seg));
 
     FetchBatch &batch = rig.fetch(start);
     EXPECT_EQ(batch.predictionsUsed, 0u);
@@ -345,7 +345,7 @@ TEST(FetchTrace, OverrideFlipsPromotedBranchOnce)
     tail.inst = isa::Instruction{Opcode::Add, 10, 11, 12, 0};
     tail.pc = isa::directTarget(promoted.inst, promoted.pc);
     seg.insts.push_back(tail);
-    rig.traceCache->insert(seg);
+    rig.traceCache->insert(std::move(seg));
 
     rig.state.overrides[start] = FrontEndState::Override{0, false};
     FetchBatch &batch = rig.fetch(start);
@@ -374,7 +374,7 @@ TEST(FetchTrace, OverrideSkipPassesEarlierInstance)
     promoted.promotedDir = true;
     promoted.builtTaken = true;
     seg.insts.push_back(promoted);
-    rig.traceCache->insert(seg);
+    rig.traceCache->insert(std::move(seg));
 
     rig.state.overrides[start] = FrontEndState::Override{1, false};
     FetchBatch &first = rig.fetch(start);
@@ -394,7 +394,7 @@ TEST(FetchTrace, SegmentEndingInReturnUsesRas)
     ret.pc = start;
     seg.insts.push_back(ret);
     seg.reason = trace::FillReason::RetIndirTrap;
-    rig.traceCache->insert(seg);
+    rig.traceCache->insert(std::move(seg));
 
     rig.state.ras.push(0xabc0);
     FetchBatch &batch = rig.fetch(start);
@@ -419,7 +419,7 @@ TEST(FetchTrace, InactiveCallDoesNotTouchRas)
     call.pc = start + 4;
     seg.insts.push_back(call);
     seg.numBlockBranches = 1;
-    rig.traceCache->insert(seg);
+    rig.traceCache->insert(std::move(seg));
 
     train(rig, start, 0, 0, true); // diverge: the call is inactive
     FetchBatch &batch = rig.fetch(start);

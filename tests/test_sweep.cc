@@ -95,6 +95,90 @@ TEST(SweepUnits, ConfigByNameResolvesPresets)
     EXPECT_FALSE(configByName("packing-bogus").has_value());
 }
 
+SweepOptions
+sampledMatrix()
+{
+    SweepOptions options = smallMatrix();
+    options.insts = 40000;
+    options.warmup = 2000;
+    options.sampled.enabled = true;
+    options.sampled.interval = 10000;
+    options.sampled.maxK = 2;
+    return options;
+}
+
+TEST(SweepUnits, SampledDimensionInIdsAndHashes)
+{
+    const std::vector<WorkUnit> sampled =
+        enumerateUnits(sampledMatrix());
+    ASSERT_EQ(sampled.size(), 4u);
+    EXPECT_EQ(sampled[0].id,
+              "compress@baseline@40000@sampled-i10000-k2-w2000");
+
+    SweepOptions full = sampledMatrix();
+    full.sampled = SampledParams{};
+    const std::vector<WorkUnit> full_units = enumerateUnits(full);
+    for (std::size_t i = 0; i < sampled.size(); ++i)
+        EXPECT_NE(sampled[i].hash, full_units[i].hash);
+
+    // Every sampled parameter feeds the hash.
+    SweepOptions finer = sampledMatrix();
+    finer.sampled.interval = 5000;
+    EXPECT_NE(enumerateUnits(finer)[0].hash, sampled[0].hash);
+    SweepOptions wider = sampledMatrix();
+    wider.sampled.maxK = 3;
+    EXPECT_NE(enumerateUnits(wider)[0].hash, sampled[0].hash);
+}
+
+TEST(SweepSampled, DegenerateParametersReproduceFullIntegers)
+{
+    // One interval, one cluster, no warm-up: the sampled path must
+    // collapse to exactly the full run's integers.
+    SweepOptions degenerate = smallMatrix();
+    degenerate.insts = 20000;
+    degenerate.sampled.enabled = true;
+    degenerate.sampled.interval = 20000;
+    degenerate.sampled.maxK = 1;
+    const WorkUnit sampled_unit = enumerateUnits(degenerate)[0];
+
+    SweepOptions full = degenerate;
+    full.sampled = SampledParams{};
+    const WorkUnit full_unit = enumerateUnits(full)[0];
+
+    const ResultIntegers s = executeUnitIntegers(sampled_unit);
+    const ResultIntegers f = executeUnitIntegers(full_unit);
+    EXPECT_EQ(s.instructions, f.instructions);
+    EXPECT_EQ(s.cycles, f.cycles);
+    EXPECT_EQ(s.condBranches, f.condBranches);
+    EXPECT_EQ(s.condMispredicts, f.condMispredicts);
+    EXPECT_EQ(s.usefulFetches, f.usefulFetches);
+    EXPECT_EQ(s.fetchedInsts, f.fetchedInsts);
+    EXPECT_EQ(s.tcLookups, f.tcLookups);
+    EXPECT_EQ(s.tcHits, f.tcHits);
+    EXPECT_EQ(s.icacheMisses, f.icacheMisses);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(s.fetchesNeedingPreds[i], f.fetchesNeedingPreds[i]);
+}
+
+TEST(SweepSampled, WeightedEstimateTracksFullRun)
+{
+    // The sampled weighted estimate must land near the full run even
+    // at test scale (tight calibration happens at 4M in the bench
+    // suite; this guards gross regressions in weighting or warm-up).
+    for (const WorkUnit &unit : enumerateUnits(sampledMatrix())) {
+        WorkUnit full_unit = unit;
+        full_unit.sampled = SampledParams{};
+        const ResultIntegers s = executeUnitIntegers(unit);
+        const ResultIntegers f = executeUnitIntegers(full_unit);
+        const double sampled_ipc =
+            static_cast<double>(s.instructions) /
+            static_cast<double>(s.cycles);
+        const double full_ipc = static_cast<double>(f.instructions) /
+                                static_cast<double>(f.cycles);
+        EXPECT_NEAR(sampled_ipc / full_ipc, 1.0, 0.15) << unit.id;
+    }
+}
+
 class SweepMergeTest : public testing::Test
 {
   protected:
@@ -137,6 +221,30 @@ TEST_F(SweepMergeTest, TwoShardMergeIsByteIdentical)
     EXPECT_TRUE(report.stale.empty());
     EXPECT_TRUE(report.duplicates.empty());
     EXPECT_EQ(*merged, single); // byte-identical
+}
+
+TEST_F(SweepMergeTest, SampledShardedMergeIsByteIdentical)
+{
+    // The byte-identity contract extends to sampled units: fragments
+    // carry the same deterministic integers the single-process
+    // renderer consumes, sampled dimension included.
+    const SweepOptions options = sampledMatrix();
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+
+    std::vector<ResultIntegers> integers;
+    for (const WorkUnit &unit : units)
+        integers.push_back(executeUnitIntegers(unit));
+    const std::string single = renderResultsDoc(units, integers);
+    EXPECT_NE(single.find("\"sampled_interval\""), std::string::npos);
+
+    for (std::size_t i = 0; i < units.size(); ++i)
+        ASSERT_TRUE(writeFragment(dir_, units[i], integers[i],
+                                  UnitTiming{}));
+    MergeReport report;
+    const auto merged = mergeFragments(options, dir_, report);
+    ASSERT_TRUE(merged.has_value());
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(*merged, single);
 }
 
 TEST_F(SweepMergeTest, ExecuteUnitIsDeterministic)

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <sstream>
+
 #include "trace/fill_unit.h"
 #include "trace/segment.h"
 #include "trace/trace_cache.h"
@@ -470,8 +473,8 @@ TEST(TraceCachePathAssoc, SameStartSegmentsCoexist)
     TraceSegment b = segmentAt(0x1000, 4);
     b.insts[1].inst = isa::Instruction{Opcode::Bne, 0, 4, 0, 8};
     b.insts[1].builtTaken = false;
-    tc.insert(a);
-    tc.insert(b);
+    tc.insert(std::move(a));
+    tc.insert(std::move(b));
     EXPECT_EQ(tc.sameStartReplacements(), 0u);
     std::vector<const TraceSegment *> candidates;
     tc.lookupAll(0x1000, candidates);
@@ -656,6 +659,63 @@ INSTANTIATE_TEST_SUITE_P(
                 ch = '_';
         return name + (std::get<1>(param_info.param) ? "_promo" : "_plain");
     });
+
+/** Canonical dump of every field the simulator reads from a segment. */
+std::string
+dumpSegment(const TraceSegment &seg)
+{
+    std::ostringstream os;
+    os << std::hex << seg.startAddr << std::dec << '/'
+       << static_cast<unsigned>(seg.reason) << '/'
+       << seg.numBlockBranches << '/' << seg.hasTightBackwardBranch
+       << '/' << seg.blockBranchDirs;
+    for (const TraceInst &ti : seg.insts) {
+        os << '|' << isa::encode(ti.inst) << ',' << ti.pc << ','
+           << ti.promoted << ti.promotedDir << ti.endsBlock
+           << ti.builtTaken;
+    }
+    return os.str();
+}
+
+TEST(FillBufferReuse, RecycledBuffersLeaveNoStaleState)
+{
+    // The fill unit recycles the pending segment's instruction buffer
+    // through TraceCache::insert instead of allocating per segment.
+    // Build the same stream on a fresh unit and on one whose buffers
+    // have already cycled through hundreds of varied segments: the
+    // resulting resident segments must match field for field.
+    auto stream = [](FillDriver &d) {
+        for (unsigned i = 0; i < 64; ++i) {
+            d.block(3 + i % 9, Opcode::Bne, i % 2 == 0,
+                    i % 5 == 0 ? -8 : 8);
+            if (i % 7 == 0)
+                d.block(2, Opcode::Ret);
+        }
+        d.block(0, Opcode::Ret); // drain the pending segment
+    };
+    auto collect = [](const FillDriver &d) {
+        std::vector<std::string> segs;
+        d.cache_.forEachResident([&](const TraceSegment &seg) {
+            segs.push_back(dumpSegment(seg));
+        });
+        std::sort(segs.begin(), segs.end());
+        return segs;
+    };
+
+    FillDriver fresh(params(PackingPolicy::CostRegulated));
+    stream(fresh);
+
+    FillDriver reused(params(PackingPolicy::CostRegulated));
+    for (unsigned i = 0; i < 300; ++i)
+        reused.block(i % 14, i % 3 == 0 ? Opcode::Ret : Opcode::Bne,
+                     i % 2 == 1, i % 4 == 0 ? -8 : 8);
+    reused.block(0, Opcode::Ret);
+    reused.cache_.flush();
+    reused.nextPc_ = 0x1000;
+    stream(reused);
+
+    EXPECT_EQ(collect(fresh), collect(reused));
+}
 
 } // namespace
 } // namespace tcsim::trace

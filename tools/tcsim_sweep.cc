@@ -38,6 +38,18 @@
  *   --warmup <n>         predictor warm-up instructions; warmed
  *                        predictor state is cached and imported into a
  *                        fresh processor (0 = cold start)
+ *   --sampled-interval n SimPoint-style sampled execution: BBV
+ *   --sampled-max-k k    interval length (must divide --insts) and the
+ *                        k-means cluster-count cap. Both must be given
+ *                        together; they add a "@sampled-..." suffix to
+ *                        every unit id and fold into the unit hashes.
+ *
+ * Sampling-error report (single-process only):
+ *   --error-out <file>   run the matrix both sampled and full, write
+ *                        the tcsim-sampling-error-v1 comparison
+ *   --error-tolerance f  per-unit IPC / fetch-rate relative-error
+ *                        bound (default 0.05); exit 4 when any unit
+ *                        exceeds it
  *
  * Artifact cache:
  *   --cache-dir <dir>    content-addressed cache for program images
@@ -82,6 +94,8 @@ usage(const char *argv0)
                  "[--configs x,y]\n"
                  "  [--insts n] [--warmup n] [--cache-dir d] "
                  "[--no-cache]\n"
+                 "  [--sampled-interval n --sampled-max-k k]\n"
+                 "  [--error-out f] [--error-tolerance f]\n"
                  "  [--timing-out f] [--die-after k]\n",
                  argv0);
     std::exit(1);
@@ -183,6 +197,8 @@ main(int argc, char **argv)
     bool list = false, merge = false, check = false;
     int shard_index = -1, shard_count = 0;
     std::string worklist_path, fragments_dir, out_path, timing_out;
+    std::string error_out;
+    double error_tolerance = 0.05;
     long die_after = -1;
     bool no_cache = false;
     bench::SweepOptions options;
@@ -223,6 +239,18 @@ main(int argc, char **argv)
             options.insts = std::strtoull(next(), nullptr, 10);
         } else if (arg == "--warmup") {
             options.warmup = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sampled-interval") {
+            options.sampled.enabled = true;
+            options.sampled.interval =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sampled-max-k") {
+            options.sampled.enabled = true;
+            options.sampled.maxK = static_cast<std::uint32_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--error-out") {
+            error_out = next();
+        } else if (arg == "--error-tolerance") {
+            error_tolerance = std::strtod(next(), nullptr);
         } else if (arg == "--cache-dir") {
             setenv("TCSIM_CACHE_DIR", next(), 1);
         } else if (arg == "--no-cache") {
@@ -237,6 +265,18 @@ main(int argc, char **argv)
     }
     if (no_cache)
         unsetenv("TCSIM_CACHE_DIR");
+
+    if (options.sampled.enabled &&
+        (options.sampled.interval == 0 || options.sampled.maxK == 0)) {
+        std::fprintf(stderr, "--sampled-interval and --sampled-max-k "
+                             "must be given together\n");
+        return 1;
+    }
+    if (!error_out.empty() && !options.sampled.enabled) {
+        std::fprintf(stderr, "--error-out needs --sampled-interval / "
+                             "--sampled-max-k\n");
+        return 1;
+    }
 
     for (const std::string &name : config_names) {
         std::optional<sim::ProcessorConfig> config =
@@ -287,6 +327,25 @@ main(int argc, char **argv)
         if (!writeFileAtomic(out_path, *doc)) {
             std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
             return 3;
+        }
+        return 0;
+    }
+
+    if (!error_out.empty()) {
+        // Calibration mode: run the matrix both sampled and full and
+        // report per-unit relative error plus the speedup.
+        bool all_within = false;
+        const std::string report = bench::samplingErrorReport(
+            options, error_tolerance, &all_within);
+        if (!writeFileAtomic(error_out, report)) {
+            std::fprintf(stderr, "cannot write %s\n", error_out.c_str());
+            return 3;
+        }
+        if (!all_within) {
+            std::fprintf(stderr,
+                         "sampling error exceeds tolerance %.3f\n",
+                         error_tolerance);
+            return 4;
         }
         return 0;
     }
@@ -351,13 +410,12 @@ main(int argc, char **argv)
         const bench::ArtifactCacheStats before =
             bench::ArtifactCache::process().stats();
         const Clock::time_point start = Clock::now();
-        const sim::SimResult result = bench::executeUnit(*unit);
+        const bench::ResultIntegers n =
+            bench::executeUnitIntegers(*unit);
         const double seconds =
             std::chrono::duration<double>(Clock::now() - start).count();
         const bench::ArtifactCacheStats after =
             bench::ArtifactCache::process().stats();
-
-        const bench::ResultIntegers n = bench::integersOf(result);
         if (!fragments_dir.empty()) {
             bench::UnitTiming timing;
             timing.wallSeconds = seconds;

@@ -8,6 +8,9 @@ Checks any combination of:
   --intervals PATH     tcsim-intervals-v1 document
   --fragment PATH      tcsim-bench-fragment-v1 sweep work-unit fragment
   --results PATH       tcsim-bench-results-v1 merged sweep document
+  --bbv PATH           tcsim-bbv-v1 basic-block-vector profile
+  --simpoints PATH     tcsim-simpoints-v1 representative-region plan
+  --error-report PATH  tcsim-sampling-error-v1 sampled-vs-full report
 
 Exits 0 when every named file validates, 1 otherwise.
 """
@@ -161,14 +164,24 @@ RESULT_SCALARS = {
 
 RESULT_ARRAYS = {"fetches_needing_preds", "cycle_cat", "fetch_hist"}
 
+# Present only on sampled-execution records (both or neither).
+SAMPLED_SCALARS = {"sampled_interval": "int", "sampled_max_k": "int"}
+
 
 def check_result_record(path, where, record):
     if not isinstance(record, dict):
         return fail(path, f"{where}: not an object")
+    sampled = "sampled_interval" in record
     expected = set(RESULT_SCALARS) | RESULT_ARRAYS
+    if sampled:
+        expected |= set(SAMPLED_SCALARS)
     if set(record) != expected:
         diff = expected.symmetric_difference(record)
         return fail(path, f"{where}: keys differ: {sorted(diff)}")
+    if sampled:
+        for key in SAMPLED_SCALARS:
+            if not isinstance(record[key], int) or record[key] <= 0:
+                return fail(path, f"{where}: {key}={record[key]!r}")
     for key, kind in RESULT_SCALARS.items():
         value = record[key]
         if kind == "int" and not isinstance(value, int):
@@ -192,7 +205,16 @@ def check_result_record(path, where, record):
         return fail(path, f"{where}: tc_hits > tc_lookups")
     if record["cond_mispredicts"] > record["cond_branches"]:
         return fail(path, f"{where}: mispredicts > branches")
-    if record["instructions"] < record["insts"]:
+    if sampled:
+        # Weighted region windows reconstruct the budget only up to
+        # per-region retire-batch overshoot times cluster weights.
+        slack = record["insts"] // 100 + 64
+        if abs(record["instructions"] - record["insts"]) > slack:
+            return fail(
+                path,
+                f"{where}: weighted instructions {record['instructions']} "
+                f"not within {slack} of budget {record['insts']}")
+    elif record["instructions"] < record["insts"]:
         return fail(path, f"{where}: ran fewer insts than budgeted")
     return True
 
@@ -213,6 +235,9 @@ def validate_fragment(path):
         if key not in unit:
             return fail(path, f"unit missing {key}")
     expected_id = f"{unit['benchmark']}@{unit['config']}@{unit['insts']}"
+    if "sampled_interval" in unit:
+        expected_id += (f"@sampled-i{unit['sampled_interval']}"
+                        f"-k{unit['sampled_max_k']}-w{unit['warmup']}")
     if unit["id"] != expected_id:
         return fail(path, f"unit id {unit['id']!r} != {expected_id!r}")
     if not check_result_record(path, "result", doc.get("result")):
@@ -254,6 +279,137 @@ def validate_results(path):
     return True
 
 
+def validate_bbv(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-bbv-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    for key in ("benchmark", "interval_insts", "total_insts", "intervals"):
+        if key not in doc:
+            return fail(path, f"missing {key}")
+    interval_insts = doc["interval_insts"]
+    total_insts = doc["total_insts"]
+    if not isinstance(interval_insts, int) or interval_insts <= 0:
+        return fail(path, f"bad interval_insts {interval_insts!r}")
+    if not isinstance(total_insts, int) or \
+            total_insts % interval_insts != 0:
+        return fail(path, f"total_insts {total_insts!r} not a multiple "
+                          f"of interval_insts {interval_insts}")
+    intervals = doc["intervals"]
+    if not isinstance(intervals, list) or \
+            len(intervals) != total_insts // interval_insts:
+        return fail(path, "interval count != total_insts/interval_insts")
+    for i, interval in enumerate(intervals):
+        if set(interval) != {"end_insts", "blocks"}:
+            return fail(path, f"interval {i}: keys {sorted(interval)}")
+        if interval["end_insts"] != (i + 1) * interval_insts:
+            return fail(path, f"interval {i}: end_insts "
+                              f"{interval['end_insts']}")
+        blocks = interval["blocks"]
+        if not isinstance(blocks, list) or not blocks:
+            return fail(path, f"interval {i}: missing blocks")
+        total = 0
+        for pair in blocks:
+            if not isinstance(pair, list) or len(pair) != 2 or \
+                    not all(isinstance(v, int) and v >= 0 for v in pair):
+                return fail(path, f"interval {i}: bad block entry {pair!r}")
+            total += pair[1]
+        if total != interval_insts:
+            return fail(path, f"interval {i}: block counts sum to "
+                              f"{total}, want {interval_insts}")
+    print(f"validate_obs: {path}: OK ({len(intervals)} intervals)")
+    return True
+
+
+def validate_simpoints(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-simpoints-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    for key in ("benchmark", "program_fingerprint", "algo_version",
+                "interval_insts", "total_insts", "num_intervals", "k",
+                "simpoints"):
+        if key not in doc:
+            return fail(path, f"missing {key}")
+    points = doc["simpoints"]
+    if not isinstance(points, list) or len(points) != doc["k"]:
+        return fail(path, f"simpoints count != k {doc['k']!r}")
+    weight = 0
+    prev_index = -1
+    for i, point in enumerate(points):
+        expected = {"index", "start_insts", "cluster", "weight_num",
+                    "weight_den"}
+        if set(point) != expected:
+            return fail(path, f"simpoint {i}: keys {sorted(point)}")
+        if point["index"] <= prev_index:
+            return fail(path, f"simpoint {i}: index not increasing")
+        prev_index = point["index"]
+        if point["index"] >= doc["num_intervals"]:
+            return fail(path, f"simpoint {i}: index out of range")
+        if point["start_insts"] != point["index"] * doc["interval_insts"]:
+            return fail(path, f"simpoint {i}: start_insts mismatch")
+        if point["cluster"] != i:
+            return fail(path, f"simpoint {i}: cluster not renumbered")
+        if point["weight_den"] != doc["num_intervals"]:
+            return fail(path, f"simpoint {i}: weight_den mismatch")
+        weight += point["weight_num"]
+    if weight != doc["num_intervals"]:
+        return fail(path, f"weights sum to {weight}, want "
+                          f"{doc['num_intervals']}")
+    print(f"validate_obs: {path}: OK (k={doc['k']})")
+    return True
+
+
+ERROR_STAT_KEYS = {"ipc", "fetch_rate", "mispredict_rate"}
+
+
+def validate_error_report(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-sampling-error-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    for key in ("matrix_hash", "tolerance", "units", "aggregate",
+                "all_within_tolerance"):
+        if key not in doc:
+            return fail(path, f"missing {key}")
+    units = doc["units"]
+    if not isinstance(units, list) or not units:
+        return fail(path, "missing or empty units")
+    for i, unit in enumerate(units):
+        expected = {"id", "sampled", "full", "rel_err", "speedup",
+                    "within_tolerance"}
+        if set(unit) != expected:
+            return fail(path, f"unit {i}: keys {sorted(unit)}")
+        for side in ("sampled", "full"):
+            if set(unit[side]) != ERROR_STAT_KEYS | {"wall_seconds"}:
+                return fail(path, f"unit {i}: {side} keys "
+                                  f"{sorted(unit[side])}")
+        if set(unit["rel_err"]) != ERROR_STAT_KEYS:
+            return fail(path, f"unit {i}: rel_err keys "
+                              f"{sorted(unit['rel_err'])}")
+        for key, value in unit["rel_err"].items():
+            if not isinstance(value, (int, float)) or value < 0:
+                return fail(path, f"unit {i}: rel_err.{key}={value!r}")
+        gated = max(unit["rel_err"]["ipc"], unit["rel_err"]["fetch_rate"])
+        if unit["within_tolerance"] != (gated <= doc["tolerance"]):
+            return fail(path, f"unit {i}: within_tolerance inconsistent")
+    if doc["all_within_tolerance"] != all(
+            u["within_tolerance"] for u in units):
+        return fail(path, "all_within_tolerance inconsistent")
+    print(f"validate_obs: {path}: OK ({len(units)} units, "
+          f"all_within={doc['all_within_tolerance']})")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace-jsonl", action="append", default=[])
@@ -261,9 +417,13 @@ def main():
     parser.add_argument("--intervals", action="append", default=[])
     parser.add_argument("--fragment", action="append", default=[])
     parser.add_argument("--results", action="append", default=[])
+    parser.add_argument("--bbv", action="append", default=[])
+    parser.add_argument("--simpoints", action="append", default=[])
+    parser.add_argument("--error-report", action="append", default=[])
     args = parser.parse_args()
     if not (args.trace_jsonl or args.chrome or args.intervals
-            or args.fragment or args.results):
+            or args.fragment or args.results or args.bbv
+            or args.simpoints or args.error_report):
         parser.error("nothing to validate")
     ok = True
     for path in args.trace_jsonl:
@@ -276,6 +436,12 @@ def main():
         ok &= validate_fragment(path)
     for path in args.results:
         ok &= validate_results(path)
+    for path in args.bbv:
+        ok &= validate_bbv(path)
+    for path in args.simpoints:
+        ok &= validate_simpoints(path)
+    for path in args.error_report:
+        ok &= validate_error_report(path)
     return 0 if ok else 1
 
 
