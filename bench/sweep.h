@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/farm.h"
 #include "sim/accounting.h"
 #include "sim/config.h"
 
@@ -194,11 +195,18 @@ ResultIntegers executeUnitIntegers(const WorkUnit &unit);
  * and aggregate relative error for IPC / effective fetch rate /
  * mispredict rate, wall-clock for both paths, and the speedup).
  * options.sampled must be enabled. When @p all_within_out is
- * non-null it receives whether every unit's IPC and fetch-rate
- * relative errors are <= @p tolerance.
+ * non-null it receives whether every unit passed the gate: IPC and
+ * fetch-rate relative errors <= @p tolerance AND mispredict-rate
+ * ABSOLUTE error <= @p mispredict_tolerance. The mispredict bound is
+ * absolute (the rate is already a fraction) because per-region
+ * predictor warm-up bias shifts the sampled rate by a few points
+ * independent of the base rate, so relative error diverges exactly
+ * when the full run predicts well.
  */
 std::string samplingErrorReport(const SweepOptions &options,
-                                double tolerance, bool *all_within_out);
+                                double tolerance,
+                                double mispredict_tolerance,
+                                bool *all_within_out);
 
 /** Render one fragment document (canonical integers + timing). */
 std::string renderFragment(const WorkUnit &unit,
@@ -239,7 +247,9 @@ struct MergeReport
 
 /**
  * Scan @p fragments_dir and assemble the canonical results document
- * for @p options' matrix.
+ * for @p options' matrix. Worker heartbeat files ("heartbeat-*",
+ * telemetry only) are ignored, so a monitored sweep merges to exactly
+ * the same bytes as an unmonitored one.
  * @return the document when every unit was found (report still lists
  * stale/duplicate files); empty optional otherwise, with the holes in
  * @p report.
@@ -247,6 +257,34 @@ struct MergeReport
 std::optional<std::string> mergeFragments(const SweepOptions &options,
                                           const std::string &fragments_dir,
                                           MergeReport &report);
+
+/** One completed unit as observed in a fragments directory. */
+struct CompletedUnit
+{
+    std::string id;
+    std::string hash;
+    double wallSeconds = 0.0;
+};
+
+/** What one telemetry poll of a fragments directory found. */
+struct FarmScan
+{
+    /** Parsed worker heartbeats with their file-mtime ages. */
+    std::vector<obs::WorkerObservation> workers;
+    /** Valid fragments whose hash is in @p options' matrix. */
+    std::vector<CompletedUnit> completed;
+    std::uint64_t unitsTotal = 0;
+};
+
+/**
+ * Scan @p fragments_dir for the monitor: parse every heartbeat file
+ * (measuring staleness from its mtime) and every fragment belonging
+ * to @p options' matrix (unit id, hash, wall-clock from the timing
+ * section). Read-only, tolerant of torn in-flight files — this runs
+ * concurrently with live workers by design.
+ */
+FarmScan scanFarm(const SweepOptions &options,
+                  const std::string &fragments_dir);
 
 } // namespace tcsim::bench
 

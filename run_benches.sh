@@ -25,6 +25,7 @@
 #
 # Usage: run_benches.sh [--long] [--sweep N] [--inject-kill]
 #                       [--warm-compare] [--sampled-errors]
+#                       [--monitor] [--regress-against FILE]
 #   --long          raise the default instruction budget to 1M per run
 #                   (statistically meaningful sweeps; an explicit
 #                   TCSIM_INSTS still wins).
@@ -38,8 +39,23 @@
 #   --sampled-errors (sampled sweep mode) after the merge, run the
 #                   sampled-vs-full error report (each unit simulated
 #                   BOTH ways — expensive), fail if any unit's IPC or
-#                   fetch-rate error exceeds TCSIM_ERROR_TOLERANCE, and
-#                   embed the report in BENCH_results.json.
+#                   fetch-rate error exceeds TCSIM_ERROR_TOLERANCE (or
+#                   its mispredict-rate error exceeds
+#                   TCSIM_MISPREDICT_TOLERANCE), and embed the report
+#                   in BENCH_results.json.
+#   --monitor       (sweep mode) attach tools/tcsim_monitor to the
+#                   farm for the duration of the sweep: live dashboard
+#                   in .sweep.tmp/monitor.log, rolling
+#                   tcsim-farm-status-v1 snapshots in FARM_status.json.
+#                   Purely observational — the merged document is
+#                   byte-identical with or without it.
+#   --regress-against FILE
+#                   (sweep mode) after the merge, gate
+#                   SWEEP_results.json against the baseline results
+#                   document FILE with tools/tcsim_regress; the
+#                   verdict lands in REGRESSION_report.json and is
+#                   embedded in BENCH_results.json. A regression
+#                   (tcsim_regress exit 5) fails the run.
 #
 # Sweep-mode environment:
 #   TCSIM_SWEEP_ARGS     extra tcsim_sweep matrix args, word-split
@@ -51,8 +67,13 @@
 #                        interval length and max cluster count (both
 #                        required together; interval must divide the
 #                        budget)
-#   TCSIM_ERROR_TOLERANCE max per-stat relative error for
+#   TCSIM_ERROR_TOLERANCE max IPC / fetch-rate relative error for
 #                        --sampled-errors (default 0.05)
+#   TCSIM_MISPREDICT_TOLERANCE max mispredict-rate ABSOLUTE error for
+#                        --sampled-errors (default 0.08 = 8 points;
+#                        per-region predictor warm-up bias shifts the
+#                        sampled rate by a few points regardless of
+#                        the base rate, so the bound is absolute)
 #   TCSIM_CACHE_DIR      artifact cache directory (default
 #                        .tcsim_cache; empty string disables)
 #   TCSIM_UNIT_TIMEOUT   per-unit timeout seconds (default 600)
@@ -63,6 +84,8 @@ sweep_shards=0
 inject_kill=0
 warm_compare=0
 sampled_errors=0
+monitor=0
+regress_baseline=""
 while [ $# -gt 0 ]; do
     case "$1" in
         --long)
@@ -80,6 +103,13 @@ while [ $# -gt 0 ]; do
             ;;
         --sampled-errors)
             sampled_errors=1
+            ;;
+        --monitor)
+            monitor=1
+            ;;
+        --regress-against)
+            shift
+            regress_baseline="$1"
             ;;
         *)
             echo "unknown option: $1" >&2
@@ -118,12 +148,29 @@ if [ "$sweep_shards" -gt 0 ]; then
         matrix_args+=(--sampled-interval "$TCSIM_SAMPLED_INTERVAL"
                       --sampled-max-k "$TCSIM_SAMPLED_K")
     fi
+    # The monitor needs the matrix (to know the denominator and which
+    # fragments belong to this sweep) but not the cache arguments.
+    monitor_args=("${matrix_args[@]}")
     [ -n "$cache_dir" ] && matrix_args+=(--cache-dir "$cache_dir")
 
     sweep_dir=.sweep.tmp
     frags="$sweep_dir/fragments"
     rm -rf "$sweep_dir"
     mkdir -p "$frags"
+
+    monitor_pid=""
+    if [ "$monitor" -eq 1 ]; then
+        monitor_bin=build/tools/tcsim_monitor
+        [ -x "$monitor_bin" ] || {
+            echo "$monitor_bin not built" >&2; exit 1; }
+        "$monitor_bin" --fragments-dir "$frags" "${monitor_args[@]}" \
+            --interval 1 --status-out FARM_status.json \
+            > "$sweep_dir/monitor.log" 2>&1 &
+        monitor_pid=$!
+        echo "sweep: monitor attached (pid $monitor_pid," \
+             "dashboard: $sweep_dir/monitor.log," \
+             "snapshots: FARM_status.json)"
+    fi
 
     n_units=$("$sweep_bin" --list "${matrix_args[@]}" \
                   | sed -n 's/^matrix [0-9a-f]* (\([0-9]*\) units)$/\1/p')
@@ -149,6 +196,7 @@ if [ "$sweep_shards" -gt 0 ]; then
         pids+=($!)
     done
     crashed=0
+    timeout_killed_workers=0
     for i in $(seq 0 $((sweep_shards - 1))); do
         code=0
         wait "${pids[$i]}" || code=$?
@@ -156,12 +204,22 @@ if [ "$sweep_shards" -gt 0 ]; then
             echo "sweep: worker $i exited with code $code" \
                  "(crash or timeout; its missing units will be retried)"
             crashed=$((crashed + 1))
+            # timeout(1) reports an expired timer with 124; other
+            # codes (e.g. 137 from --inject-kill's SIGKILL) are
+            # crashes, not timeouts.
+            if [ "$code" -eq 124 ]; then
+                timeout_killed_workers=$((timeout_killed_workers + 1))
+            fi
         fi
     done
 
     # Bounded retry: split the missing units round-robin into fresh
-    # worklists and re-run each unit under its own timeout.
+    # worklists and re-run each unit under its own timeout. Per-unit
+    # retry counts accumulate in the main shell; per-unit timeout
+    # kills are appended to a file because the workers are subshells.
     retries_used=0
+    declare -A unit_retries=()
+    : > "$sweep_dir/timeout_kills.txt"
     for pass in $(seq 1 "$max_retries"); do
         "$sweep_bin" --check --fragments-dir "$frags" \
             "${matrix_args[@]}" > "$sweep_dir/missing.txt" \
@@ -175,6 +233,7 @@ if [ "$sweep_shards" -gt 0 ]; then
         j=0
         while read -r h; do
             [ -n "$h" ] || continue
+            unit_retries[$h]=$(( ${unit_retries[$h]:-0} + 1 ))
             echo "$h" >> "$sweep_dir/retry.$((j % sweep_shards)).txt"
             j=$((j + 1))
         done < "$sweep_dir/missing.txt"
@@ -185,11 +244,15 @@ if [ "$sweep_shards" -gt 0 ]; then
                 while read -r h; do
                     [ -n "$h" ] || continue
                     echo "$h" > "$sweep_dir/retry.$i.one"
+                    rc=0
                     timeout "$unit_timeout" "$sweep_bin" \
                         "${matrix_args[@]}" \
                         --worklist "$sweep_dir/retry.$i.one" \
                         --fragments-dir "$frags" \
-                        >> "$sweep_dir/worker.$i.log" 2>&1 || true
+                        >> "$sweep_dir/worker.$i.log" 2>&1 || rc=$?
+                    if [ "$rc" -eq 124 ]; then
+                        echo "$h" >> "$sweep_dir/timeout_kills.txt"
+                    fi
                 done < "$sweep_dir/retry.$i.txt"
             ) &
             pids+=($!)
@@ -208,6 +271,47 @@ if [ "$sweep_shards" -gt 0 ]; then
     "$sweep_bin" --merge --fragments-dir "$frags" "${matrix_args[@]}" \
         --out SWEEP_results.json || exit 1
     total=$(( $(date +%s) - total_start ))
+
+    if [ -n "$monitor_pid" ]; then
+        kill "$monitor_pid" 2> /dev/null || true
+        wait "$monitor_pid" 2> /dev/null || true
+        # A fast sweep can finish between monitor polls; refresh the
+        # snapshot once post-merge so FARM_status.json always records
+        # the final state instead of whatever the last poll caught.
+        "$sweep_bin" --status --fragments-dir "$frags" \
+            "${monitor_args[@]}" --status-out FARM_status.json \
+            > "$sweep_dir/final_status.txt" 2>&1 || true
+        echo "sweep: final farm view:"
+        sed 's/^/  /' "$sweep_dir/final_status.txt"
+    fi
+
+    # Optional perf-regression gate against a prior merged document.
+    regress_json=""
+    if [ -n "$regress_baseline" ]; then
+        regress_bin=build/tools/tcsim_regress
+        [ -x "$regress_bin" ] || {
+            echo "$regress_bin not built" >&2; exit 1; }
+        [ -f "$regress_baseline" ] || {
+            echo "baseline $regress_baseline not found" >&2; exit 1; }
+        regress_code=0
+        "$regress_bin" --baseline "$regress_baseline" \
+            --current SWEEP_results.json \
+            --out REGRESSION_report.json || regress_code=$?
+        if [ "$regress_code" -ne 0 ] && [ "$regress_code" -ne 5 ]; then
+            echo "tcsim_regress failed (exit $regress_code)" >&2
+            exit 1
+        fi
+        regress_json=$(printf '"regression":%s,' \
+            "$(tr -d '\n' < REGRESSION_report.json)")
+        if [ "$regress_code" -eq 5 ]; then
+            echo "sweep: PERF REGRESSION against $regress_baseline" \
+                 "(details: REGRESSION_report.json)" >&2
+            # Still emit BENCH_results.json below so the report is
+            # preserved, then fail.
+        else
+            echo "sweep: no regression against $regress_baseline"
+        fi
+    fi
 
     # Optional warm rerun: with every program image and predictor
     # checkpoint now cached, a single-process pass must be faster AND
@@ -236,9 +340,11 @@ if [ "$sweep_shards" -gt 0 ]; then
     error_json=""
     if [ "$sampled_errors" -eq 1 ]; then
         tolerance="${TCSIM_ERROR_TOLERANCE:-0.05}"
+        mispredict_tolerance="${TCSIM_MISPREDICT_TOLERANCE:-0.08}"
         "$sweep_bin" "${matrix_args[@]}" \
             --error-out "$sweep_dir/errors.json" \
             --error-tolerance "$tolerance" \
+            --mispredict-tolerance "$mispredict_tolerance" \
             > "$sweep_dir/errors.log" 2>&1
         error_code=$?
         if [ "$error_code" -ne 0 ] && [ "$error_code" -ne 4 ]; then
@@ -250,11 +356,12 @@ if [ "$sweep_shards" -gt 0 ]; then
         error_json=$(printf '"sampling_error":%s,' \
             "$(tr -d '\n' < "$sweep_dir/errors.json")")
         if [ "$error_code" -eq 4 ]; then
-            echo "sweep: sampling error exceeds tolerance $tolerance" >&2
+            echo "sweep: sampling error exceeds tolerance $tolerance" \
+                 "(mispredict $mispredict_tolerance)" >&2
             exit 1
         fi
         echo "sweep: sampling errors within tolerance $tolerance" \
-             "(SAMPLING_errors.json)"
+             "(mispredict $mispredict_tolerance, SAMPLING_errors.json)"
     fi
 
     # BENCH_results.json: sweep timing + per-worker cache statistics
@@ -266,8 +373,33 @@ if [ "$sweep_shards" -gt 0 ]; then
             "$sweep_shards" "$n_units"
         printf '"total_wall_seconds":%d,"retry_passes":%d,' \
             "$total" "$retries_used"
-        printf '"crashed_workers":%d,%s%s"workers":[' \
-            "$crashed" "$warm_json" "$error_json"
+        printf '"crashed_workers":%d,' "$crashed"
+        printf '"timeout_killed_workers":%d,' "$timeout_killed_workers"
+        printf '"monitored":%s,' \
+            "$([ "$monitor" -eq 1 ] && echo true || echo false)"
+        # Per-unit retry counts (hash -> times it landed on a retry
+        # worklist) and units whose retry was cut down by the per-unit
+        # timeout. Empty when pass 0 covered everything.
+        printf '"unit_retries":['
+        first=1
+        for h in "${!unit_retries[@]}"; do
+            [ $first -eq 1 ] || printf ','
+            first=0
+            printf '{"hash":"%s","retries":%d}' "$h" \
+                "${unit_retries[$h]}"
+        done
+        printf '],"timeout_killed_units":['
+        first=1
+        if [ -f "$sweep_dir/timeout_kills.txt" ]; then
+            while read -r h; do
+                [ -n "$h" ] || continue
+                [ $first -eq 1 ] || printf ','
+                first=0
+                printf '"%s"' "$h"
+            done < "$sweep_dir/timeout_kills.txt"
+        fi
+        printf '],%s%s%s"workers":[' \
+            "$warm_json" "$error_json" "$regress_json"
         first=1
         for f in "$sweep_dir"/timing.*.json; do
             [ -f "$f" ] || continue
@@ -278,6 +410,11 @@ if [ "$sweep_shards" -gt 0 ]; then
         printf ']},"exhibits":[]}\n'
     } > BENCH_results.json
     rm -rf "$sweep_dir"
+    if [ -n "$regress_baseline" ] && [ "${regress_code:-0}" -eq 5 ]; then
+        echo "SWEEP FAILED perf-regression gate in ${total}s" \
+             "(report: REGRESSION_report.json)" >&2
+        exit 5
+    fi
     echo "SWEEP COMPLETE in ${total}s" \
          "(results: SWEEP_results.json, timing: BENCH_results.json)"
     exit 0

@@ -1,0 +1,294 @@
+#include "obs/farm.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace tcsim::obs
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+/** Host sim-MIPS over the worker's lifetime: retired instructions per
+ * wall microsecond of worker uptime. */
+double
+workerSimMips(const Heartbeat &hb)
+{
+    const double up = hb.nowMono - hb.startMono;
+    if (up <= 0.0 || hb.retiredInsts == 0)
+        return 0.0;
+    return static_cast<double>(hb.retiredInsts) / up / 1e6;
+}
+
+} // namespace
+
+double
+medianOf(std::vector<double> values)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const std::size_t mid = values.size() / 2;
+    if (values.size() % 2 == 1)
+        return values[mid];
+    return 0.5 * (values[mid - 1] + values[mid]);
+}
+
+FarmStatus
+aggregateFarm(const std::vector<WorkerObservation> &workers,
+              const std::vector<double> &completed_wall_seconds,
+              std::uint64_t units_total, std::uint64_t units_done,
+              const FarmParams &params, EwmaState *ewma, double now_mono)
+{
+    FarmStatus status;
+    status.unitsTotal = units_total;
+    status.unitsDone = units_done;
+
+    // Straggler threshold from the running median of completed units.
+    if (completed_wall_seconds.size() >= params.minCompletedForMedian) {
+        status.medianUnitSeconds = medianOf(completed_wall_seconds);
+        if (status.medianUnitSeconds > 0.0) {
+            status.stragglerThresholdSeconds =
+                params.stragglerK * status.medianUnitSeconds;
+        }
+    }
+
+    for (const WorkerObservation &observed : workers) {
+        WorkerStatus worker;
+        worker.hb = observed.hb;
+        worker.ageSeconds = observed.ageSeconds;
+        // A worker that reported "done" stops writing by design; its
+        // aging heartbeat is a record, not a liveness failure.
+        worker.stale = observed.hb.phase != "done" &&
+                       observed.ageSeconds > params.staleAfterSeconds;
+        if (observed.hb.phase == "run") {
+            status.unitsRunning += 1;
+            // Elapsed = in-unit time the worker itself reported, plus
+            // however long ago it reported it.
+            worker.currentUnitSeconds =
+                (observed.hb.nowMono - observed.hb.unitStartMono) +
+                observed.ageSeconds;
+            if (status.stragglerThresholdSeconds > 0.0 &&
+                worker.currentUnitSeconds >
+                    status.stragglerThresholdSeconds) {
+                worker.straggler = true;
+                status.stragglers.push_back(observed.hb.unitId);
+            }
+        }
+        if (worker.stale)
+            status.workersStale += 1;
+        status.workers.push_back(std::move(worker));
+    }
+
+    // Throughput: EWMA over the completion rate between polls. The
+    // first poll seeds the state without producing a rate (no time
+    // base yet); a backwards poll (monitor restart) reseeds.
+    if (ewma != nullptr) {
+        if (!ewma->valid || now_mono < ewma->lastSampleMono ||
+            units_done < ewma->lastUnitsDone) {
+            ewma->valid = true;
+            ewma->ratePerSec = 0.0;
+            ewma->lastSampleMono = now_mono;
+            ewma->lastUnitsDone = units_done;
+        } else if (now_mono > ewma->lastSampleMono) {
+            const double sample =
+                static_cast<double>(units_done - ewma->lastUnitsDone) /
+                (now_mono - ewma->lastSampleMono);
+            ewma->ratePerSec =
+                ewma->ratePerSec == 0.0
+                    ? sample
+                    : params.ewmaAlpha * sample +
+                          (1.0 - params.ewmaAlpha) * ewma->ratePerSec;
+            ewma->lastSampleMono = now_mono;
+            ewma->lastUnitsDone = units_done;
+        }
+        status.throughputUnitsPerSec = ewma->ratePerSec;
+    }
+    // Single-shot fallback (no EWMA history): estimate the rate from
+    // the busiest worker's uptime so --once / --status still get an
+    // ETA after the first fragments land.
+    if (status.throughputUnitsPerSec == 0.0 && units_done > 0) {
+        double max_uptime = 0.0;
+        for (const WorkerObservation &observed : workers) {
+            max_uptime = std::max(
+                max_uptime, observed.hb.nowMono - observed.hb.startMono +
+                                observed.ageSeconds);
+        }
+        if (max_uptime > 0.0) {
+            status.throughputUnitsPerSec =
+                static_cast<double>(units_done) / max_uptime;
+        }
+    }
+    if (status.throughputUnitsPerSec > 0.0 && units_total >= units_done) {
+        status.etaSeconds =
+            static_cast<double>(units_total - units_done) /
+            status.throughputUnitsPerSec;
+    }
+    return status;
+}
+
+std::string
+renderFarmStatus(const FarmStatus &status, std::int64_t generated_unix)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"tcsim-farm-status-v1\",\n";
+    out += "  \"generated_unix\": " + std::to_string(generated_unix) +
+           ",\n";
+    out += "  \"units_total\": " + std::to_string(status.unitsTotal) +
+           ",\n";
+    out += "  \"units_done\": " + std::to_string(status.unitsDone) + ",\n";
+    out +=
+        "  \"units_running\": " + std::to_string(status.unitsRunning) +
+        ",\n";
+    out += "  \"workers_stale\": " + std::to_string(status.workersStale) +
+           ",\n";
+    out += "  \"throughput_units_per_sec\": " +
+           formatDouble(status.throughputUnitsPerSec) + ",\n";
+    out += "  \"eta_seconds\": " + formatDouble(status.etaSeconds) + ",\n";
+    out += "  \"median_unit_seconds\": " +
+           formatDouble(status.medianUnitSeconds) + ",\n";
+    out += "  \"straggler_threshold_seconds\": " +
+           formatDouble(status.stragglerThresholdSeconds) + ",\n";
+    out += "  \"stragglers\": [";
+    for (std::size_t i = 0; i < status.stragglers.size(); ++i) {
+        if (i > 0)
+            out += ", ";
+        out += "\"" + jsonEscape(status.stragglers[i]) + "\"";
+    }
+    out += "],\n";
+    out += "  \"workers\": [\n";
+    for (std::size_t i = 0; i < status.workers.size(); ++i) {
+        const WorkerStatus &worker = status.workers[i];
+        out += "    {";
+        out += "\"worker\": \"" + jsonEscape(worker.hb.worker) + "\", ";
+        out += "\"pid\": " + std::to_string(worker.hb.pid) + ", ";
+        out += "\"phase\": \"" + jsonEscape(worker.hb.phase) + "\", ";
+        out += "\"unit_id\": \"" + jsonEscape(worker.hb.unitId) + "\", ";
+        out += "\"units_done\": " + std::to_string(worker.hb.unitsDone) +
+               ", ";
+        out +=
+            "\"units_total\": " + std::to_string(worker.hb.unitsTotal) +
+            ", ";
+        out += "\"retired_insts\": " +
+               std::to_string(worker.hb.retiredInsts) + ", ";
+        out += "\"cache_hits\": " + std::to_string(worker.hb.cacheHits) +
+               ", ";
+        out += "\"cache_misses\": " +
+               std::to_string(worker.hb.cacheMisses) + ", ";
+        out += "\"sim_mips\": " + formatDouble(workerSimMips(worker.hb)) +
+               ", ";
+        out += "\"age_seconds\": " + formatDouble(worker.ageSeconds) +
+               ", ";
+        out += "\"current_unit_seconds\": " +
+               formatDouble(worker.currentUnitSeconds) + ", ";
+        out += std::string("\"stale\": ") +
+               (worker.stale ? "true" : "false") + ", ";
+        out += std::string("\"straggler\": ") +
+               (worker.straggler ? "true" : "false");
+        out += "}";
+        out += i + 1 < status.workers.size() ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
+renderFarmDashboard(const FarmStatus &status)
+{
+    char line[256];
+    std::string out;
+    const double done_pct =
+        status.unitsTotal == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(status.unitsDone) /
+                  static_cast<double>(status.unitsTotal);
+    std::snprintf(line, sizeof(line),
+                  "farm: %llu/%llu units (%.1f%%)  running %llu  "
+                  "rate %.3f u/s  ",
+                  static_cast<unsigned long long>(status.unitsDone),
+                  static_cast<unsigned long long>(status.unitsTotal),
+                  done_pct,
+                  static_cast<unsigned long long>(status.unitsRunning),
+                  status.throughputUnitsPerSec);
+    out += line;
+    if (status.etaSeconds >= 0.0) {
+        std::snprintf(line, sizeof(line), "eta %.0fs",
+                      status.etaSeconds);
+        out += line;
+    } else {
+        out += "eta --";
+    }
+    if (status.workersStale > 0) {
+        std::snprintf(line, sizeof(line), "  STALE workers: %llu",
+                      static_cast<unsigned long long>(
+                          status.workersStale));
+        out += line;
+    }
+    if (!status.stragglers.empty()) {
+        std::snprintf(line, sizeof(line), "  stragglers: %zu",
+                      status.stragglers.size());
+        out += line;
+    }
+    out += '\n';
+    std::snprintf(line, sizeof(line), "%-10s %7s %-5s %9s %8s %7s %6s  %s\n",
+                  "worker", "pid", "phase", "done", "mips", "age",
+                  "unit_s", "unit");
+    out += line;
+    for (const WorkerStatus &worker : status.workers) {
+        char done[32];
+        std::snprintf(done, sizeof(done), "%llu/%llu",
+                      static_cast<unsigned long long>(
+                          worker.hb.unitsDone),
+                      static_cast<unsigned long long>(
+                          worker.hb.unitsTotal));
+        double mips = 0.0;
+        const double up = worker.hb.nowMono - worker.hb.startMono;
+        if (up > 0.0)
+            mips = static_cast<double>(worker.hb.retiredInsts) / up / 1e6;
+        std::string unit = worker.hb.unitId;
+        if (worker.straggler)
+            unit += "  [STRAGGLER]";
+        std::snprintf(line, sizeof(line),
+                      "%-10s %7lld %-5s%s %8s %8.2f %6.1fs %5.1fs  %s\n",
+                      worker.hb.worker.c_str(),
+                      static_cast<long long>(worker.hb.pid),
+                      worker.hb.phase.c_str(),
+                      worker.stale ? "!" : " ", done, mips,
+                      worker.ageSeconds, worker.currentUnitSeconds,
+                      unit.c_str());
+        out += line;
+    }
+    return out;
+}
+
+} // namespace tcsim::obs

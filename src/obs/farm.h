@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Farm-state aggregation for the sweep monitor: turn a set of worker
+ * heartbeats plus the completed-unit record into one coherent view —
+ * per-worker liveness, farm throughput (EWMA over poll-to-poll
+ * completion rate), an ETA, and straggler flagging for in-flight
+ * units whose wall-clock exceeds k× the running median of completed
+ * units. Rendered as "tcsim-farm-status-v1" JSON.
+ *
+ * aggregateFarm() is a pure function of its inputs plus a small
+ * carried EwmaState, so the math (stale detection, medians, EWMA) is
+ * unit-testable without a live farm.
+ */
+
+#ifndef TCSIM_OBS_FARM_H
+#define TCSIM_OBS_FARM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/heartbeat.h"
+
+namespace tcsim::obs
+{
+
+/** One worker's heartbeat as observed by the monitor: the parsed
+ * document plus how long ago its file was last rewritten (measured on
+ * the monitor's clock via the file mtime — worker monotonic
+ * timestamps are process-local and not comparable across workers). */
+struct WorkerObservation
+{
+    Heartbeat hb;
+    double ageSeconds = 0.0;
+};
+
+/** Aggregation knobs. */
+struct FarmParams
+{
+    /** A worker whose heartbeat file is older than this is stale
+     * (crashed, wedged, or its writer thread starved). */
+    double staleAfterSeconds = 15.0;
+    /** An in-flight unit running longer than stragglerK × the median
+     * completed-unit wall time is flagged a straggler. */
+    double stragglerK = 4.0;
+    /** EWMA smoothing factor for the farm completion rate. */
+    double ewmaAlpha = 0.3;
+    /** Units below this many completed samples use no straggler
+     * flagging (the median is too noisy to trust). */
+    std::size_t minCompletedForMedian = 3;
+};
+
+/** Carried between aggregateFarm() calls to smooth the rate. */
+struct EwmaState
+{
+    bool valid = false;
+    double ratePerSec = 0.0;      ///< smoothed units/second
+    double lastSampleMono = 0.0;  ///< monitor clock, seconds
+    std::uint64_t lastUnitsDone = 0;
+};
+
+/** Per-worker aggregated status. */
+struct WorkerStatus
+{
+    Heartbeat hb;
+    double ageSeconds = 0.0;
+    bool stale = false;
+    /** Wall-clock of the in-flight unit (0 when idle/done). */
+    double currentUnitSeconds = 0.0;
+    bool straggler = false;
+};
+
+/** The whole farm, one aggregation instant. */
+struct FarmStatus
+{
+    std::uint64_t unitsTotal = 0;
+    std::uint64_t unitsDone = 0;    ///< valid fragments on disk
+    std::uint64_t unitsRunning = 0; ///< workers in phase "run"
+    std::uint64_t workersStale = 0;
+    double throughputUnitsPerSec = 0.0; ///< EWMA; 0 until measurable
+    double etaSeconds = -1.0;           ///< -1 when rate unknown/zero
+    double medianUnitSeconds = 0.0;     ///< 0 below the sample floor
+    double stragglerThresholdSeconds = 0.0; ///< 0 when not flagging
+    std::vector<WorkerStatus> workers;
+    /** Unit ids currently flagged as stragglers. */
+    std::vector<std::string> stragglers;
+};
+
+/** Exact median of @p values (mean of middle two when even); 0 when
+ * empty. @p values is taken by value because it must be sorted. */
+double medianOf(std::vector<double> values);
+
+/**
+ * Aggregate one monitor poll. @p completed_wall_seconds are the wall
+ * times of every completed unit observed so far (from fragment
+ * timing sections); @p units_done is the authoritative completed
+ * count (valid fragments on disk); @p now_mono is the monitor's
+ * monotonic clock in seconds. @p ewma (when non-null) carries the
+ * smoothed completion rate across polls and is updated in place.
+ */
+FarmStatus aggregateFarm(const std::vector<WorkerObservation> &workers,
+                         const std::vector<double> &completed_wall_seconds,
+                         std::uint64_t units_total,
+                         std::uint64_t units_done,
+                         const FarmParams &params, EwmaState *ewma,
+                         double now_mono);
+
+/** Render @p status as a "tcsim-farm-status-v1" JSON document.
+ * @p generated_unix is wall-clock (seconds since the epoch) purely
+ * for human correlation — everything else is monotonic-derived. */
+std::string renderFarmStatus(const FarmStatus &status,
+                             std::int64_t generated_unix);
+
+/** Render a compact terminal dashboard (multi-line, ANSI-free). */
+std::string renderFarmDashboard(const FarmStatus &status);
+
+} // namespace tcsim::obs
+
+#endif // TCSIM_OBS_FARM_H

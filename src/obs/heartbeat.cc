@@ -1,0 +1,278 @@
+#include "obs/heartbeat.h"
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <unistd.h>
+
+#include "common/json.h"
+
+namespace tcsim::obs
+{
+
+namespace
+{
+
+double
+monoSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+formatDouble(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    return buf;
+}
+
+} // namespace
+
+std::string
+renderHeartbeat(const Heartbeat &hb)
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"tcsim-heartbeat-v1\",\n";
+    out += "  \"worker\": \"" + jsonEscape(hb.worker) + "\",\n";
+    out += "  \"pid\": " + std::to_string(hb.pid) + ",\n";
+    out += "  \"seq\": " + std::to_string(hb.seq) + ",\n";
+    out += "  \"phase\": \"" + jsonEscape(hb.phase) + "\",\n";
+    out += "  \"unit_id\": \"" + jsonEscape(hb.unitId) + "\",\n";
+    out += "  \"unit_hash\": \"" + jsonEscape(hb.unitHash) + "\",\n";
+    out += "  \"start_mono\": " + formatDouble(hb.startMono) + ",\n";
+    out += "  \"now_mono\": " + formatDouble(hb.nowMono) + ",\n";
+    out += "  \"unit_start_mono\": " + formatDouble(hb.unitStartMono) +
+           ",\n";
+    out += "  \"units_done\": " + std::to_string(hb.unitsDone) + ",\n";
+    out += "  \"units_total\": " + std::to_string(hb.unitsTotal) + ",\n";
+    out += "  \"retired_insts\": " + std::to_string(hb.retiredInsts) +
+           ",\n";
+    out += "  \"cache_hits\": " + std::to_string(hb.cacheHits) + ",\n";
+    out += "  \"cache_misses\": " + std::to_string(hb.cacheMisses) + "\n";
+    out += "}\n";
+    return out;
+}
+
+std::optional<Heartbeat>
+parseHeartbeat(const std::string &text)
+{
+    const std::optional<json::Value> doc = json::parse(text);
+    if (!doc || !doc->isObject() ||
+        doc->getString("schema") != "tcsim-heartbeat-v1") {
+        return std::nullopt;
+    }
+    // Every field is required: a heartbeat is written whole or not at
+    // all, so a missing member means the document is not ours.
+    static const char *required[] = {
+        "worker",        "pid",         "seq",
+        "phase",         "unit_id",     "unit_hash",
+        "start_mono",    "now_mono",    "unit_start_mono",
+        "units_done",    "units_total", "retired_insts",
+        "cache_hits",    "cache_misses",
+    };
+    for (const char *key : required) {
+        if (doc->find(key) == nullptr)
+            return std::nullopt;
+    }
+    Heartbeat hb;
+    hb.worker = doc->getString("worker");
+    hb.pid = doc->find("pid")->asInt64();
+    hb.seq = doc->getUint64("seq");
+    hb.phase = doc->getString("phase");
+    hb.unitId = doc->getString("unit_id");
+    hb.unitHash = doc->getString("unit_hash");
+    hb.startMono = doc->getDouble("start_mono");
+    hb.nowMono = doc->getDouble("now_mono");
+    hb.unitStartMono = doc->getDouble("unit_start_mono");
+    hb.unitsDone = doc->getUint64("units_done");
+    hb.unitsTotal = doc->getUint64("units_total");
+    hb.retiredInsts = doc->getUint64("retired_insts");
+    hb.cacheHits = doc->getUint64("cache_hits");
+    hb.cacheMisses = doc->getUint64("cache_misses");
+    if (hb.worker.empty() || hb.phase.empty())
+        return std::nullopt;
+    return hb;
+}
+
+std::string
+heartbeatPath(const std::string &dir, const std::string &worker)
+{
+    return dir + "/heartbeat-" + worker + ".json";
+}
+
+bool
+isHeartbeatFilename(const std::string &filename)
+{
+    return filename.rfind("heartbeat-", 0) == 0;
+}
+
+bool
+writeHeartbeat(const std::string &dir, const Heartbeat &hb)
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir, ec);
+    if (ec)
+        return false;
+    const std::string path = heartbeatPath(dir, hb.worker);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        const std::string doc = renderHeartbeat(hb);
+        out.write(doc.data(), static_cast<std::streamsize>(doc.size()));
+        if (!out) {
+            std::filesystem::remove(tmp, ec);
+            return false;
+        }
+    }
+    std::filesystem::rename(tmp, path, ec);
+    if (ec) {
+        std::filesystem::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+HeartbeatEmitter::HeartbeatEmitter(std::string dir, std::string worker,
+                                   double interval_seconds,
+                                   std::uint64_t units_total)
+    : dir_(std::move(dir)), interval_(interval_seconds)
+{
+    enabled_ = !dir_.empty() && interval_ > 0.0;
+    if (!enabled_)
+        return;
+    state_.worker = std::move(worker);
+    state_.pid = static_cast<std::int64_t>(getpid());
+    state_.startMono = monoSeconds();
+    state_.unitsTotal = units_total;
+    writeNow();
+    thread_ = std::thread(&HeartbeatEmitter::threadMain, this);
+}
+
+HeartbeatEmitter::~HeartbeatEmitter()
+{
+    if (!enabled_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+}
+
+void
+HeartbeatEmitter::beginUnit(const std::string &unit_id,
+                            const std::string &unit_hash)
+{
+    if (!enabled_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        state_.phase = "run";
+        state_.unitId = unit_id;
+        state_.unitHash = unit_hash;
+        state_.unitStartMono = monoSeconds();
+    }
+    writeNow();
+}
+
+void
+HeartbeatEmitter::completeUnit(std::uint64_t retired_insts,
+                               std::uint64_t cache_hits,
+                               std::uint64_t cache_misses)
+{
+    if (!enabled_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        state_.phase = "idle";
+        state_.unitId.clear();
+        state_.unitHash.clear();
+        state_.unitStartMono = 0.0;
+        state_.unitsDone += 1;
+        state_.retiredInsts += retired_insts;
+        state_.cacheHits += cache_hits;
+        state_.cacheMisses += cache_misses;
+    }
+    writeNow();
+}
+
+void
+HeartbeatEmitter::finish()
+{
+    if (!enabled_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        state_.phase = "done";
+        state_.unitId.clear();
+        state_.unitHash.clear();
+        state_.unitStartMono = 0.0;
+    }
+    writeNow();
+}
+
+Heartbeat
+HeartbeatEmitter::snapshotLocked()
+{
+    state_.seq += 1;
+    state_.nowMono = monoSeconds();
+    return state_;
+}
+
+void
+HeartbeatEmitter::writeNow()
+{
+    Heartbeat hb;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hb = snapshotLocked();
+    }
+    // Best-effort: a heartbeat that cannot be written must never kill
+    // the worker — the simulation result is what matters.
+    (void)writeHeartbeat(dir_, hb);
+}
+
+void
+HeartbeatEmitter::threadMain()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (!stop_) {
+        const auto interval = std::chrono::duration<double>(interval_);
+        if (wake_.wait_for(lock, interval, [&] { return stop_; }))
+            break;
+        const Heartbeat hb = snapshotLocked();
+        lock.unlock();
+        (void)writeHeartbeat(dir_, hb);
+        lock.lock();
+    }
+}
+
+} // namespace tcsim::obs

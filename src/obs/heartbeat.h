@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Worker heartbeats for the sweep farm ("tcsim-heartbeat-v1").
+ *
+ * Each sweep worker periodically writes one small JSON file into the
+ * fragments directory describing what it is doing right now: its pid,
+ * worker label, current work unit and phase, units done/total,
+ * cumulative retired instructions, artifact-cache hits/misses and
+ * host simulation throughput. The file is rewritten in place with the
+ * same atomic temp-file + rename discipline fragments use, so readers
+ * never observe a torn document and the merge layer (which skips
+ * "heartbeat-*" files) stays byte-identical with or without a monitor
+ * attached.
+ *
+ * Timestamps are MONOTONIC seconds (std::chrono::steady_clock) local
+ * to the writing process: differences of two timestamps from the same
+ * heartbeat are meaningful durations, but timestamps from different
+ * workers are not comparable. Cross-process liveness therefore keys
+ * off the heartbeat file's mtime age, which the monitor measures on
+ * its own clock.
+ */
+
+#ifndef TCSIM_OBS_HEARTBEAT_H
+#define TCSIM_OBS_HEARTBEAT_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace tcsim::obs
+{
+
+/** One parsed (or to-be-written) heartbeat document. */
+struct Heartbeat
+{
+    std::string worker;      ///< stable worker label ("shard0", ...)
+    std::int64_t pid = 0;
+    std::uint64_t seq = 0;   ///< increments every write
+    /** Worker phase: "idle", "run" (executing a unit) or "done". */
+    std::string phase = "idle";
+    std::string unitId;      ///< current unit; empty when idle/done
+    std::string unitHash;
+    double startMono = 0.0;     ///< worker start, monotonic seconds
+    double nowMono = 0.0;       ///< write time, monotonic seconds
+    double unitStartMono = 0.0; ///< current unit start; 0 when idle
+    std::uint64_t unitsDone = 0;
+    std::uint64_t unitsTotal = 0;
+    /** Cumulative retired instructions across completed units. */
+    std::uint64_t retiredInsts = 0;
+    std::uint64_t cacheHits = 0;
+    std::uint64_t cacheMisses = 0;
+};
+
+/** Render @p hb as a "tcsim-heartbeat-v1" JSON document. */
+std::string renderHeartbeat(const Heartbeat &hb);
+
+/** Parse a heartbeat document; empty optional when @p text is not a
+ * complete, well-formed tcsim-heartbeat-v1 document (e.g. a torn or
+ * truncated read). */
+std::optional<Heartbeat> parseHeartbeat(const std::string &text);
+
+/** @return "<dir>/heartbeat-<worker>.json". */
+std::string heartbeatPath(const std::string &dir,
+                          const std::string &worker);
+
+/** @return true iff @p filename (no directory) names a heartbeat
+ * file — the merge layer uses this to skip them. */
+bool isHeartbeatFilename(const std::string &filename);
+
+/**
+ * Write @p hb atomically to heartbeatPath(dir, hb.worker).
+ * @return false on I/O error.
+ */
+bool writeHeartbeat(const std::string &dir, const Heartbeat &hb);
+
+/**
+ * Background heartbeat writer for a sweep worker: rewrites the
+ * worker's heartbeat file every @p interval_seconds, plus immediately
+ * on every state transition (unit start/completion, finish). All
+ * methods are no-ops when constructed disabled (empty dir or
+ * non-positive interval), so call sites need no branching.
+ */
+class HeartbeatEmitter
+{
+  public:
+    HeartbeatEmitter(std::string dir, std::string worker,
+                     double interval_seconds, std::uint64_t units_total);
+    ~HeartbeatEmitter();
+
+    HeartbeatEmitter(const HeartbeatEmitter &) = delete;
+    HeartbeatEmitter &operator=(const HeartbeatEmitter &) = delete;
+
+    bool enabled() const { return enabled_; }
+
+    /** The worker is starting to execute @p unit_id. */
+    void beginUnit(const std::string &unit_id,
+                   const std::string &unit_hash);
+
+    /** The current unit retired and its fragment landed. */
+    void completeUnit(std::uint64_t retired_insts,
+                      std::uint64_t cache_hits,
+                      std::uint64_t cache_misses);
+
+    /** All assigned units done; writes a final "done" heartbeat. */
+    void finish();
+
+  private:
+    Heartbeat snapshotLocked();
+    void writeNow();
+    void threadMain();
+
+    const std::string dir_;
+    const double interval_;
+    bool enabled_ = false;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    bool stop_ = false;
+    Heartbeat state_;
+    std::thread thread_;
+};
+
+} // namespace tcsim::obs
+
+#endif // TCSIM_OBS_HEARTBEAT_H

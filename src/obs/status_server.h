@@ -1,0 +1,76 @@
+/**
+ * @file
+ * A minimal embedded HTTP status endpoint for the sweep monitor.
+ *
+ * Serves the latest published farm-status JSON snapshot over plain
+ * HTTP/1.0 on a background thread. Every request must present the
+ * bearer token the server was started with (`Authorization: Bearer
+ * <token>`, sourced from TCSIM_STATUS_TOKEN by callers); requests
+ * without it get 401 with no body content beyond an error object, so
+ * an unauthenticated scraper learns nothing about the farm.
+ *
+ * Scope: one accept loop, one request per connection, GET only,
+ * no TLS — this is a LAN/CI liveness endpoint, not a public API.
+ * Implemented with plain POSIX sockets; no third-party dependency.
+ */
+
+#ifndef TCSIM_OBS_STATUS_SERVER_H
+#define TCSIM_OBS_STATUS_SERVER_H
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace tcsim::obs
+{
+
+class StatusServer
+{
+  public:
+    StatusServer() = default;
+    ~StatusServer() { stop(); }
+
+    StatusServer(const StatusServer &) = delete;
+    StatusServer &operator=(const StatusServer &) = delete;
+
+    /**
+     * Bind @p bind_addr:@p port (port 0 = ephemeral; see port()) and
+     * start serving. @p token must be non-empty — an unauthenticated
+     * status endpoint is refused by construction.
+     * @return false (with a message on stderr) on bind failure or an
+     * empty token.
+     */
+    bool start(const std::string &bind_addr, std::uint16_t port,
+               const std::string &token);
+
+    /** Replace the snapshot served to authorized GETs. */
+    void publish(std::string json);
+
+    /** The bound port (resolves port 0); 0 when not running. */
+    std::uint16_t port() const { return port_; }
+
+    bool running() const { return running_.load(); }
+
+    /** Shut the accept loop down and join the thread (idempotent). */
+    void stop();
+
+  private:
+    void serveLoop();
+    void handleConnection(int fd);
+
+    int listenFd_ = -1;
+    std::uint16_t port_ = 0;
+    std::string token_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::thread thread_;
+
+    std::mutex snapshotMutex_;
+    std::string snapshot_ = "{}\n";
+};
+
+} // namespace tcsim::obs
+
+#endif // TCSIM_OBS_STATUS_SERVER_H

@@ -1,0 +1,95 @@
+#!/bin/bash
+# End-to-end smoke test for the sweep-farm telemetry, driven by ctest:
+#
+#  1. single-process reference run (no telemetry),
+#  2. 2-shard run with heartbeats enabled, then `tcsim_sweep --status`
+#     and `tcsim_monitor --once` over the finished farm — both must
+#     see every unit done and emit a valid tcsim-farm-status-v1
+#     snapshot,
+#  3. merge with heartbeat files still in the fragments directory —
+#     byte-identical to the unmonitored reference,
+#  4. `tcsim_regress` self-compare (clean, exit 0) and against a
+#     perturbed current run (regression, exit 5).
+#
+# Usage: monitor_smoke.sh <cmake-build-dir>
+set -eu
+
+sweep="$1/tools/tcsim_sweep"
+monitor="$1/tools/tcsim_monitor"
+regress="$1/tools/tcsim_regress"
+validate="$(cd "$(dirname "$0")/.." && pwd)/tools/validate_obs.py"
+for bin in "$sweep" "$monitor" "$regress"; do
+    [ -x "$bin" ] || { echo "missing binary: $bin" >&2; exit 1; }
+done
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+# Matrix args (shared with tcsim_monitor) vs the sweep-only cache dir.
+matrix=(--benchmarks compress,li --configs baseline,promotion-t64
+        --insts 20000 --warmup 5000)
+margs=("${matrix[@]}" --cache-dir "$scratch/cache")
+
+echo "== unmonitored single-process reference =="
+"$sweep" "${margs[@]}" --out "$scratch/single.json"
+
+echo "== 2-shard run with heartbeats =="
+"$sweep" "${margs[@]}" --shard 0/2 --heartbeat 0.5 \
+         --fragments-dir "$scratch/frags"
+"$sweep" "${margs[@]}" --shard 1/2 --heartbeat 0.5 \
+         --fragments-dir "$scratch/frags"
+ls "$scratch/frags"/heartbeat-shard0.json \
+   "$scratch/frags"/heartbeat-shard1.json > /dev/null
+
+echo "== tcsim_sweep --status sees the finished farm =="
+"$sweep" "${margs[@]}" --status --fragments-dir "$scratch/frags" \
+         --status-out "$scratch/status-sweep.json" | tee "$scratch/dash.txt"
+grep -q "4/4 units" "$scratch/dash.txt"
+python3 "$validate" --farm-status "$scratch/status-sweep.json"
+python3 "$validate" --heartbeat "$scratch/frags/heartbeat-shard0.json"
+
+echo "== tcsim_monitor --once agrees and exits 0 =="
+"$monitor" "${matrix[@]}" --once --fragments-dir "$scratch/frags" \
+           --status-out "$scratch/status-monitor.json" > /dev/null
+python3 "$validate" --farm-status "$scratch/status-monitor.json"
+python3 - "$scratch/status-monitor.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["units_done"] == doc["units_total"] == 4, doc
+assert doc["workers_stale"] == 0, doc
+assert all(w["phase"] == "done" for w in doc["workers"]), doc
+EOF
+
+echo "== merge ignores heartbeats: byte-identical =="
+"$sweep" "${margs[@]}" --merge --fragments-dir "$scratch/frags" \
+         --out "$scratch/merged.json"
+cmp "$scratch/single.json" "$scratch/merged.json"
+
+echo "== regress self-compare is clean =="
+"$regress" --baseline "$scratch/merged.json" \
+           --current "$scratch/merged.json" \
+           --out "$scratch/regress-clean.json"
+python3 "$validate" --regression "$scratch/regress-clean.json"
+
+echo "== regress flags an injected IPC loss with exit 5 =="
+python3 - "$scratch/merged.json" "$scratch/perturbed.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+doc["results"][0]["ipc"] *= 0.9
+json.dump(doc, open(sys.argv[2], "w"))
+EOF
+rc=0
+"$regress" --baseline "$scratch/merged.json" \
+           --current "$scratch/perturbed.json" \
+           --out "$scratch/regress-bad.json" || rc=$?
+[ "$rc" -eq 5 ] || { echo "expected regress exit 5, got $rc" >&2; exit 1; }
+python3 "$validate" --regression "$scratch/regress-bad.json"
+python3 - "$scratch/regress-bad.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["regressed"] is True, doc
+bad = [u for u in doc["units"] if u["regressed"]]
+assert len(bad) == 1, bad
+assert any(m["name"] == "ipc" and m["regressed"] for m in bad[0]["metrics"])
+EOF
+
+echo "monitor smoke OK"

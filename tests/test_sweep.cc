@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include "bench/sweep.h"
+#include "obs/heartbeat.h"
 #include "sim/config.h"
 
 namespace
@@ -318,6 +319,58 @@ TEST_F(SweepMergeTest, CorruptFragmentsBlockTheMerge)
     ASSERT_EQ(report.corrupt.size(), 1u);
     EXPECT_EQ(report.corrupt[0], dir_ + "/garbage.json");
     EXPECT_TRUE(report.missing.empty());
+}
+
+TEST_F(SweepMergeTest, HeartbeatsInvisibleToMergeVisibleToScan)
+{
+    // A monitored sweep leaves heartbeat files (and possibly a torn
+    // in-flight one) in the fragments directory. The merge must treat
+    // them as if they were not there — same bytes, nothing classified
+    // corrupt — while scanFarm picks up both the workers and the
+    // completed units.
+    const SweepOptions options = smallMatrix();
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+
+    std::vector<ResultIntegers> integers;
+    for (const WorkUnit &unit : units)
+        integers.push_back(integersOf(executeUnit(unit)));
+    const std::string single = renderResultsDoc(units, integers);
+
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        UnitTiming timing;
+        timing.wallSeconds = 0.25;
+        ASSERT_TRUE(writeFragment(dir_, units[i], integers[i], timing));
+    }
+    obs::Heartbeat hb;
+    hb.worker = "shard0";
+    hb.phase = "run";
+    hb.unitId = units[0].id;
+    hb.unitsTotal = units.size();
+    ASSERT_TRUE(obs::writeHeartbeat(dir_, hb));
+    {
+        // A torn heartbeat mid-write: garbage to every reader, but
+        // still not the merge's problem.
+        std::ofstream out(dir_ + "/heartbeat-shard1.json");
+        out << "{\n  \"schema\": \"tcsim-heart";
+    }
+
+    MergeReport report;
+    const auto merged = mergeFragments(options, dir_, report);
+    ASSERT_TRUE(merged.has_value());
+    EXPECT_TRUE(report.complete());
+    EXPECT_TRUE(report.corrupt.empty());
+    EXPECT_TRUE(report.stale.empty());
+    EXPECT_EQ(*merged, single);
+
+    const FarmScan scan = scanFarm(options, dir_);
+    EXPECT_EQ(scan.unitsTotal, units.size());
+    EXPECT_EQ(scan.completed.size(), units.size());
+    // Only the intact heartbeat parses; the torn one is skipped.
+    ASSERT_EQ(scan.workers.size(), 1u);
+    EXPECT_EQ(scan.workers[0].hb.worker, "shard0");
+    EXPECT_GE(scan.workers[0].ageSeconds, 0.0);
+    for (const CompletedUnit &unit : scan.completed)
+        EXPECT_DOUBLE_EQ(unit.wallSeconds, 0.25);
 }
 
 TEST_F(SweepMergeTest, RenamedFragmentIsCorruptNotTrusted)

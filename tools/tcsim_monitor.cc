@@ -1,0 +1,264 @@
+/**
+ * @file
+ * tcsim_monitor: live telemetry for a running sweep farm.
+ *
+ * Polls a fragments directory — worker heartbeats plus landed result
+ * fragments — and aggregates them into one farm view: per-worker
+ * liveness and throughput, an EWMA-smoothed completion rate with an
+ * ETA, and straggler flagging for in-flight units running longer than
+ * k× the median completed-unit wall time.
+ *
+ *   tcsim_monitor --fragments-dir <dir> [matrix options]
+ *       Refresh a terminal dashboard every --interval seconds until
+ *       interrupted (or, with --until-complete, until every unit of
+ *       the matrix has a fragment).
+ *
+ * The matrix options (--benchmarks/--configs/--insts/--warmup/
+ * --sampled-*) must match the workers' so the monitor knows the
+ * denominator and which fragments belong to this sweep.
+ *
+ * Outputs (combinable):
+ *   --status-out <file>  rewrite a tcsim-farm-status-v1 snapshot
+ *                        atomically on every poll
+ *   --serve [addr:]port  embedded HTTP endpoint serving the latest
+ *                        snapshot; every request must present the
+ *                        bearer token from TCSIM_STATUS_TOKEN
+ *                        (refuses to start when unset — an
+ *                        unauthenticated endpoint is not a mode).
+ *                        Port 0 binds an ephemeral port, printed as
+ *                        "serving on <addr>:<port>" for scripts.
+ *   --once               single poll: dashboard to stdout, exit 0
+ *                        when the matrix is complete, 7 otherwise
+ *
+ * Aggregation knobs: --interval (default 2s), --stale-after (15s),
+ * --straggler-k (4.0), --min-median-samples (3).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/sweep.h"
+#include "obs/farm.h"
+#include "obs/status_server.h"
+
+namespace
+{
+
+using namespace tcsim;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --fragments-dir d [--benchmarks a,b] "
+                 "[--configs x,y]\n"
+                 "  [--insts n] [--warmup n] "
+                 "[--sampled-interval n --sampled-max-k k]\n"
+                 "  [--interval sec] [--stale-after sec] "
+                 "[--straggler-k f] [--min-median-samples n]\n"
+                 "  [--status-out f] [--serve [addr:]port] [--once] "
+                 "[--until-complete]\n",
+                 argv0);
+    std::exit(1);
+}
+
+std::vector<std::string>
+splitCommas(const std::string &text)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t comma = text.find(',', start);
+        const std::size_t end =
+            comma == std::string::npos ? text.size() : comma;
+        if (end > start)
+            out.push_back(text.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+double
+monoSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string fragments_dir, status_out, serve_spec;
+    double interval_seconds = 2.0;
+    bool once = false, until_complete = false;
+    obs::FarmParams params;
+    bench::SweepOptions options;
+    std::vector<std::string> config_names;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--fragments-dir") {
+            fragments_dir = next();
+        } else if (arg == "--benchmarks") {
+            options.benchmarks = splitCommas(next());
+        } else if (arg == "--configs") {
+            config_names = splitCommas(next());
+        } else if (arg == "--insts") {
+            options.insts = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--warmup") {
+            options.warmup = std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sampled-interval") {
+            options.sampled.enabled = true;
+            options.sampled.interval =
+                std::strtoull(next(), nullptr, 10);
+        } else if (arg == "--sampled-max-k") {
+            options.sampled.enabled = true;
+            options.sampled.maxK = static_cast<std::uint32_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--interval") {
+            interval_seconds = std::strtod(next(), nullptr);
+        } else if (arg == "--stale-after") {
+            params.staleAfterSeconds = std::strtod(next(), nullptr);
+        } else if (arg == "--straggler-k") {
+            params.stragglerK = std::strtod(next(), nullptr);
+        } else if (arg == "--min-median-samples") {
+            params.minCompletedForMedian = static_cast<std::size_t>(
+                std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--status-out") {
+            status_out = next();
+        } else if (arg == "--serve") {
+            serve_spec = next();
+        } else if (arg == "--once") {
+            once = true;
+        } else if (arg == "--until-complete") {
+            until_complete = true;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (fragments_dir.empty()) {
+        std::fprintf(stderr, "--fragments-dir is required\n");
+        return 1;
+    }
+    if (interval_seconds <= 0.0) {
+        std::fprintf(stderr, "--interval must be positive\n");
+        return 1;
+    }
+    if (options.sampled.enabled &&
+        (options.sampled.interval == 0 || options.sampled.maxK == 0)) {
+        std::fprintf(stderr, "--sampled-interval and --sampled-max-k "
+                             "must be given together\n");
+        return 1;
+    }
+    for (const std::string &name : config_names) {
+        std::optional<sim::ProcessorConfig> config =
+            bench::configByName(name);
+        if (!config) {
+            std::fprintf(stderr, "unknown config '%s'\n", name.c_str());
+            return 1;
+        }
+        options.configs.push_back(std::move(*config));
+    }
+
+    obs::StatusServer server;
+    if (!serve_spec.empty()) {
+        const char *token_env = std::getenv("TCSIM_STATUS_TOKEN");
+        const std::string token = token_env ? token_env : "";
+        std::string addr = "127.0.0.1";
+        std::string port_text = serve_spec;
+        const std::size_t colon = serve_spec.rfind(':');
+        if (colon != std::string::npos) {
+            addr = serve_spec.substr(0, colon);
+            port_text = serve_spec.substr(colon + 1);
+        }
+        const unsigned long port = std::strtoul(port_text.c_str(),
+                                                nullptr, 10);
+        if (port > 65535) {
+            std::fprintf(stderr, "bad --serve port '%s'\n",
+                         port_text.c_str());
+            return 1;
+        }
+        if (!server.start(addr, static_cast<std::uint16_t>(port),
+                          token)) {
+            return 1;
+        }
+        // Scripts scrape this line to learn the resolved port.
+        std::printf("serving on %s:%u\n", addr.c_str(),
+                    static_cast<unsigned>(server.port()));
+        std::fflush(stdout);
+    }
+
+    obs::EwmaState ewma;
+    bool complete = false;
+    while (true) {
+        const bench::FarmScan scan =
+            bench::scanFarm(options, fragments_dir);
+        std::vector<double> walls;
+        walls.reserve(scan.completed.size());
+        for (const bench::CompletedUnit &unit : scan.completed)
+            walls.push_back(unit.wallSeconds);
+        const obs::FarmStatus farm = obs::aggregateFarm(
+            scan.workers, walls, scan.unitsTotal,
+            scan.completed.size(), params, once ? nullptr : &ewma,
+            monoSeconds());
+        complete = scan.unitsTotal > 0 &&
+                   scan.completed.size() >= scan.unitsTotal;
+
+        const std::string dashboard = obs::renderFarmDashboard(farm);
+        std::fputs(dashboard.c_str(), stdout);
+        std::fputs("\n", stdout);
+        std::fflush(stdout);
+
+        std::string snapshot;
+        if (!status_out.empty() || server.running()) {
+            snapshot = obs::renderFarmStatus(
+                farm, static_cast<std::int64_t>(std::time(nullptr)));
+        }
+        if (!status_out.empty() &&
+            !writeFileAtomic(status_out, snapshot)) {
+            std::fprintf(stderr, "warning: cannot write %s\n",
+                         status_out.c_str());
+        }
+        if (server.running())
+            server.publish(snapshot);
+
+        if (once)
+            return complete ? 0 : 7;
+        if (until_complete && complete)
+            return 0;
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(interval_seconds));
+    }
+}

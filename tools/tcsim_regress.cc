@@ -1,0 +1,201 @@
+/**
+ * @file
+ * tcsim_regress: the perf-regression gate for CI.
+ *
+ * Compares two canonical tcsim-bench-results-v1 documents per
+ * (benchmark, config) unit and writes a tcsim-regression-v1 verdict.
+ * Simulated metrics (IPC, effective fetch rate, conditional
+ * mispredict rate) are deterministic and gated by a plain relative
+ * threshold; per-unit wall-clock (optional, from the timing
+ * documents) is noisy and gated by max(threshold, k × robust sigma)
+ * where the sigma is learned from the spread of per-unit deltas.
+ *
+ *   tcsim_regress --baseline old.json --current new.json
+ *     [--baseline-timing old_t.json --current-timing new_t.json]
+ *     [--out report.json] [--rel-threshold f] [--wall-threshold f]
+ *     [--noise-k f]
+ *
+ * Exit codes (distinct so CI can tell a regression from a crash):
+ *   0  clean — no unit regressed
+ *   5  regression detected (or baseline units missing from current)
+ *   1  usage error
+ *   2  a document could not be read or parsed
+ *   3  the report could not be written
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "common/json.h"
+#include "obs/regress.h"
+
+namespace
+{
+
+using namespace tcsim;
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s --baseline f --current f\n"
+                 "  [--baseline-timing f --current-timing f] [--out f]\n"
+                 "  [--rel-threshold f] [--wall-threshold f] "
+                 "[--noise-k f]\n",
+                 argv0);
+    std::exit(1);
+}
+
+std::optional<json::Value>
+loadDoc(const std::string &path, const char *what)
+{
+    std::optional<json::Value> doc = json::parseFile(path);
+    if (!doc)
+        std::fprintf(stderr, "cannot read or parse %s '%s'\n", what,
+                     path.c_str());
+    return doc;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &bytes)
+{
+    if (path == "-") {
+        std::fwrite(bytes.data(), 1, bytes.size(), stdout);
+        return true;
+    }
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+        if (!out)
+            return false;
+    }
+    return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string baseline_path, current_path;
+    std::string baseline_timing_path, current_timing_path;
+    std::string out_path = "-";
+    obs::RegressOptions options;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> const char * {
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            return argv[++i];
+        };
+        if (arg == "--baseline") {
+            baseline_path = next();
+        } else if (arg == "--current") {
+            current_path = next();
+        } else if (arg == "--baseline-timing") {
+            baseline_timing_path = next();
+        } else if (arg == "--current-timing") {
+            current_timing_path = next();
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--rel-threshold") {
+            options.relThreshold = std::strtod(next(), nullptr);
+        } else if (arg == "--wall-threshold") {
+            options.wallThreshold = std::strtod(next(), nullptr);
+        } else if (arg == "--noise-k") {
+            options.noiseK = std::strtod(next(), nullptr);
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (baseline_path.empty() || current_path.empty())
+        usage(argv[0]);
+    if (baseline_timing_path.empty() != current_timing_path.empty()) {
+        std::fprintf(stderr, "--baseline-timing and --current-timing "
+                             "must be given together\n");
+        return 1;
+    }
+
+    const std::optional<json::Value> baseline =
+        loadDoc(baseline_path, "baseline");
+    const std::optional<json::Value> current =
+        loadDoc(current_path, "current");
+    if (!baseline || !current)
+        return 2;
+    std::optional<json::Value> baseline_timing, current_timing;
+    if (!baseline_timing_path.empty()) {
+        baseline_timing = loadDoc(baseline_timing_path,
+                                  "baseline timing");
+        current_timing = loadDoc(current_timing_path, "current timing");
+        if (!baseline_timing || !current_timing)
+            return 2;
+    }
+
+    std::string error;
+    const std::optional<obs::RegressionReport> report =
+        obs::compareResults(
+            *baseline, *current,
+            baseline_timing ? &*baseline_timing : nullptr,
+            current_timing ? &*current_timing : nullptr, options,
+            &error);
+    if (!report) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 2;
+    }
+
+    const std::string rendered =
+        obs::renderRegressionReport(*report, options);
+    if (!writeFileAtomic(out_path, rendered)) {
+        std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+        return 3;
+    }
+
+    std::size_t regressed_units = 0;
+    for (const obs::UnitComparison &unit : report->units)
+        regressed_units += unit.regressed ? 1 : 0;
+    std::fprintf(stderr,
+                 "compared %zu units: %zu regressed, %zu missing from "
+                 "current, %zu new (wall band %.4f, sigma %.4f)\n",
+                 report->units.size(), regressed_units,
+                 report->missingInCurrent.size(),
+                 report->missingInBaseline.size(), report->wallBand,
+                 report->wallNoiseSigma);
+    if (report->regressed) {
+        for (const obs::UnitComparison &unit : report->units) {
+            if (!unit.regressed)
+                continue;
+            for (const obs::MetricDelta &metric : unit.metrics) {
+                if (metric.regressed) {
+                    std::fprintf(stderr,
+                                 "REGRESSION %s: %s %.6g -> %.6g "
+                                 "(%+.2f%%)\n",
+                                 unit.id.c_str(), metric.name.c_str(),
+                                 metric.baseline, metric.current,
+                                 100.0 * metric.relDelta);
+                }
+            }
+            if (unit.wall && unit.wall->regressed) {
+                std::fprintf(stderr,
+                             "REGRESSION %s: wall %.3fs -> %.3fs "
+                             "(%+.2f%%, band %.2f%%)\n",
+                             unit.id.c_str(), unit.wall->baseline,
+                             unit.wall->current,
+                             100.0 * unit.wall->relDelta,
+                             100.0 * report->wallBand);
+            }
+        }
+        for (const std::string &id : report->missingInCurrent)
+            std::fprintf(stderr, "REGRESSION coverage: %s missing "
+                                 "from current run\n",
+                         id.c_str());
+        return 5;
+    }
+    return 0;
+}

@@ -29,6 +29,12 @@
  *       units to stdout (one per line, consumed by run_benches.sh to
  *       build retry worklists); exit 0 when complete, 2 otherwise.
  *
+ *   tcsim_sweep --status --fragments-dir <dir>
+ *       One-shot farm snapshot: scan worker heartbeats and fragments,
+ *       print the monitor dashboard to stdout and (with --status-out)
+ *       write a tcsim-farm-status-v1 document. For a continuously
+ *       refreshing view use tcsim_monitor.
+ *
  * Matrix options (must match between workers and the merger):
  *   --benchmarks a,b,c   subset of the suite (default: all)
  *   --configs x,y        preset names (default: icache, baseline,
@@ -50,6 +56,21 @@
  *   --error-tolerance f  per-unit IPC / fetch-rate relative-error
  *                        bound (default 0.05); exit 4 when any unit
  *                        exceeds it
+ *   --mispredict-tolerance f
+ *                        per-unit mispredict-rate ABSOLUTE error bound
+ *                        (default 0.08, i.e. 8 percentage points —
+ *                        per-region predictor warm-up bias shifts the
+ *                        sampled rate by a few points regardless of
+ *                        the base rate, so a relative bound diverges
+ *                        at long budgets where the rate is smallest)
+ *
+ * Telemetry:
+ *   --heartbeat <sec>    heartbeat interval for worker modes (default
+ *                        2 seconds; 0 disables). Workers write an
+ *                        atomic "heartbeat-<worker>.json" next to
+ *                        their fragments; the merge layer ignores it.
+ *   --status-out <file>  with --status: also write the
+ *                        tcsim-farm-status-v1 snapshot JSON
  *
  * Artifact cache:
  *   --cache-dir <dir>    content-addressed cache for program images
@@ -69,6 +90,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <fstream>
 #include <optional>
 #include <string>
@@ -78,6 +100,7 @@
 
 #include "bench/artifact_cache.h"
 #include "bench/sweep.h"
+#include "obs/heartbeat.h"
 
 namespace
 {
@@ -89,13 +112,15 @@ usage(const char *argv0)
 {
     std::fprintf(stderr,
                  "usage: %s [--list | --shard i/N | --worklist f | "
-                 "--merge | --check]\n"
+                 "--merge | --check | --status]\n"
                  "  [--fragments-dir d] [--out f] [--benchmarks a,b] "
                  "[--configs x,y]\n"
                  "  [--insts n] [--warmup n] [--cache-dir d] "
                  "[--no-cache]\n"
                  "  [--sampled-interval n --sampled-max-k k]\n"
-                 "  [--error-out f] [--error-tolerance f]\n"
+                 "  [--error-out f] [--error-tolerance f] "
+                 "[--mispredict-tolerance f]\n"
+                 "  [--heartbeat sec] [--status-out f]\n"
                  "  [--timing-out f] [--die-after k]\n",
                  argv0);
     std::exit(1);
@@ -194,11 +219,13 @@ writeTimingDoc(const std::string &path,
 int
 main(int argc, char **argv)
 {
-    bool list = false, merge = false, check = false;
+    bool list = false, merge = false, check = false, status = false;
     int shard_index = -1, shard_count = 0;
     std::string worklist_path, fragments_dir, out_path, timing_out;
-    std::string error_out;
+    std::string error_out, status_out;
     double error_tolerance = 0.05;
+    double mispredict_tolerance = 0.08;
+    double heartbeat_seconds = 2.0;
     long die_after = -1;
     bool no_cache = false;
     bench::SweepOptions options;
@@ -217,6 +244,12 @@ main(int argc, char **argv)
             merge = true;
         } else if (arg == "--check") {
             check = true;
+        } else if (arg == "--status") {
+            status = true;
+        } else if (arg == "--status-out") {
+            status_out = next();
+        } else if (arg == "--heartbeat") {
+            heartbeat_seconds = std::strtod(next(), nullptr);
         } else if (arg == "--shard") {
             if (std::sscanf(next(), "%d/%d", &shard_index,
                             &shard_count) != 2 ||
@@ -251,6 +284,8 @@ main(int argc, char **argv)
             error_out = next();
         } else if (arg == "--error-tolerance") {
             error_tolerance = std::strtod(next(), nullptr);
+        } else if (arg == "--mispredict-tolerance") {
+            mispredict_tolerance = std::strtod(next(), nullptr);
         } else if (arg == "--cache-dir") {
             setenv("TCSIM_CACHE_DIR", next(), 1);
         } else if (arg == "--no-cache") {
@@ -300,6 +335,36 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (status) {
+        if (fragments_dir.empty()) {
+            std::fprintf(stderr, "--status needs --fragments-dir\n");
+            return 1;
+        }
+        const bench::FarmScan scan =
+            bench::scanFarm(options, fragments_dir);
+        std::vector<double> walls;
+        for (const bench::CompletedUnit &unit : scan.completed)
+            walls.push_back(unit.wallSeconds);
+        const double now_mono = std::chrono::duration<double>(
+                                    std::chrono::steady_clock::now()
+                                        .time_since_epoch())
+                                    .count();
+        const obs::FarmStatus farm = obs::aggregateFarm(
+            scan.workers, walls, scan.unitsTotal, scan.completed.size(),
+            obs::FarmParams{}, nullptr, now_mono);
+        std::fputs(obs::renderFarmDashboard(farm).c_str(), stdout);
+        if (!status_out.empty()) {
+            const std::string doc = obs::renderFarmStatus(
+                farm, static_cast<std::int64_t>(std::time(nullptr)));
+            if (!writeFileAtomic(status_out, doc)) {
+                std::fprintf(stderr, "cannot write %s\n",
+                             status_out.c_str());
+                return 3;
+            }
+        }
+        return 0;
+    }
+
     if (merge || check) {
         if (fragments_dir.empty()) {
             std::fprintf(stderr, "--%s needs --fragments-dir\n",
@@ -336,15 +401,17 @@ main(int argc, char **argv)
         // report per-unit relative error plus the speedup.
         bool all_within = false;
         const std::string report = bench::samplingErrorReport(
-            options, error_tolerance, &all_within);
+            options, error_tolerance, mispredict_tolerance,
+            &all_within);
         if (!writeFileAtomic(error_out, report)) {
             std::fprintf(stderr, "cannot write %s\n", error_out.c_str());
             return 3;
         }
         if (!all_within) {
             std::fprintf(stderr,
-                         "sampling error exceeds tolerance %.3f\n",
-                         error_tolerance);
+                         "sampling error exceeds tolerance %.3f "
+                         "(mispredict %.3f)\n",
+                         error_tolerance, mispredict_tolerance);
             return 4;
         }
         return 0;
@@ -399,6 +466,16 @@ main(int argc, char **argv)
         return 1;
     }
 
+    // Heartbeats go next to the fragments, so they exist exactly when
+    // another process could be watching the directory.
+    std::string worker_label;
+    if (shard_count > 0)
+        worker_label = "shard" + std::to_string(shard_index);
+    else
+        worker_label = "pid" + std::to_string(getpid());
+    obs::HeartbeatEmitter heart(fragments_dir, worker_label,
+                                heartbeat_seconds, selected.size());
+
     using Clock = std::chrono::steady_clock;
     const Clock::time_point run_start = Clock::now();
     std::vector<bench::ResultIntegers> integers;
@@ -407,6 +484,7 @@ main(int argc, char **argv)
     for (const bench::WorkUnit *unit : selected) {
         std::fprintf(stderr, "[%ld/%zu] %s\n", completed + 1,
                      selected.size(), unit->id.c_str());
+        heart.beginUnit(unit->id, unit->hash);
         const bench::ArtifactCacheStats before =
             bench::ArtifactCache::process().stats();
         const Clock::time_point start = Clock::now();
@@ -430,6 +508,8 @@ main(int argc, char **argv)
         integers.push_back(n);
         timed.push_back({unit, seconds});
         ++completed;
+        heart.completeUnit(n.instructions, after.hits - before.hits,
+                           after.misses - before.misses);
         if (die_after >= 0 && completed >= die_after) {
             // Crash-recovery testing: die the hard way, mid-sweep,
             // with no destructors or atexit handlers.
@@ -438,6 +518,7 @@ main(int argc, char **argv)
             raise(SIGKILL);
         }
     }
+    heart.finish();
     const double total_seconds =
         std::chrono::duration<double>(Clock::now() - run_start).count();
 

@@ -11,6 +11,9 @@ Checks any combination of:
   --bbv PATH           tcsim-bbv-v1 basic-block-vector profile
   --simpoints PATH     tcsim-simpoints-v1 representative-region plan
   --error-report PATH  tcsim-sampling-error-v1 sampled-vs-full report
+  --heartbeat PATH     tcsim-heartbeat-v1 sweep-worker heartbeat
+  --farm-status PATH   tcsim-farm-status-v1 monitor snapshot
+  --regression PATH    tcsim-regression-v1 perf-gate verdict
 
 Exits 0 when every named file validates, 1 otherwise.
 """
@@ -377,15 +380,16 @@ def validate_error_report(path):
             return fail(path, f"invalid JSON: {err}")
     if doc.get("schema") != "tcsim-sampling-error-v1":
         return fail(path, f"bad schema {doc.get('schema')!r}")
-    for key in ("matrix_hash", "tolerance", "units", "aggregate",
-                "all_within_tolerance"):
+    for key in ("matrix_hash", "tolerance", "mispredict_tolerance",
+                "units", "aggregate", "all_within_tolerance"):
         if key not in doc:
             return fail(path, f"missing {key}")
     units = doc["units"]
     if not isinstance(units, list) or not units:
         return fail(path, "missing or empty units")
     for i, unit in enumerate(units):
-        expected = {"id", "sampled", "full", "rel_err", "speedup",
+        expected = {"id", "sampled", "full", "rel_err",
+                    "abs_err_mispredict_rate", "speedup",
                     "within_tolerance"}
         if set(unit) != expected:
             return fail(path, f"unit {i}: keys {sorted(unit)}")
@@ -399,14 +403,164 @@ def validate_error_report(path):
         for key, value in unit["rel_err"].items():
             if not isinstance(value, (int, float)) or value < 0:
                 return fail(path, f"unit {i}: rel_err.{key}={value!r}")
+        abs_err = unit["abs_err_mispredict_rate"]
+        if not isinstance(abs_err, (int, float)) or abs_err < 0:
+            return fail(path, f"unit {i}: abs_err_mispredict_rate="
+                              f"{abs_err!r}")
         gated = max(unit["rel_err"]["ipc"], unit["rel_err"]["fetch_rate"])
-        if unit["within_tolerance"] != (gated <= doc["tolerance"]):
+        within = (gated <= doc["tolerance"]
+                  and abs_err <= doc["mispredict_tolerance"])
+        if unit["within_tolerance"] != within:
             return fail(path, f"unit {i}: within_tolerance inconsistent")
     if doc["all_within_tolerance"] != all(
             u["within_tolerance"] for u in units):
         return fail(path, "all_within_tolerance inconsistent")
     print(f"validate_obs: {path}: OK ({len(units)} units, "
           f"all_within={doc['all_within_tolerance']})")
+    return True
+
+
+HEARTBEAT_KEYS = {
+    "schema": str, "worker": str, "pid": int, "seq": int, "phase": str,
+    "unit_id": str, "unit_hash": str, "start_mono": (int, float),
+    "now_mono": (int, float), "unit_start_mono": (int, float),
+    "units_done": int, "units_total": int, "retired_insts": int,
+    "cache_hits": int, "cache_misses": int,
+}
+
+
+def validate_heartbeat(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-heartbeat-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    if set(doc) != set(HEARTBEAT_KEYS):
+        diff = set(HEARTBEAT_KEYS).symmetric_difference(doc)
+        return fail(path, f"keys differ: {sorted(diff)}")
+    for key, kind in HEARTBEAT_KEYS.items():
+        if not isinstance(doc[key], kind):
+            return fail(path, f"{key}={doc[key]!r} not {kind}")
+    if doc["phase"] not in ("idle", "run", "done"):
+        return fail(path, f"bad phase {doc['phase']!r}")
+    if doc["phase"] == "run" and not doc["unit_id"]:
+        return fail(path, "phase run with empty unit_id")
+    if doc["phase"] != "run" and doc["unit_id"]:
+        return fail(path, f"phase {doc['phase']} with a unit_id")
+    if doc["units_done"] > doc["units_total"]:
+        return fail(path, "units_done > units_total")
+    if doc["now_mono"] < doc["start_mono"]:
+        return fail(path, "now_mono before start_mono")
+    print(f"validate_obs: {path}: OK (worker {doc['worker']}, "
+          f"phase {doc['phase']})")
+    return True
+
+
+FARM_WORKER_KEYS = {
+    "worker": str, "pid": int, "phase": str, "unit_id": str,
+    "units_done": int, "units_total": int, "retired_insts": int,
+    "cache_hits": int, "cache_misses": int, "sim_mips": (int, float),
+    "age_seconds": (int, float), "current_unit_seconds": (int, float),
+    "stale": bool, "straggler": bool,
+}
+
+
+def validate_farm_status(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-farm-status-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    for key in ("generated_unix", "units_total", "units_done",
+                "units_running", "workers_stale",
+                "throughput_units_per_sec", "eta_seconds",
+                "median_unit_seconds", "straggler_threshold_seconds",
+                "stragglers", "workers"):
+        if key not in doc:
+            return fail(path, f"missing {key}")
+    if doc["units_done"] > doc["units_total"]:
+        return fail(path, "units_done > units_total")
+    if not isinstance(doc["stragglers"], list):
+        return fail(path, "stragglers not an array")
+    workers = doc["workers"]
+    if not isinstance(workers, list):
+        return fail(path, "workers not an array")
+    stale = 0
+    for i, worker in enumerate(workers):
+        if set(worker) != set(FARM_WORKER_KEYS):
+            diff = set(FARM_WORKER_KEYS).symmetric_difference(worker)
+            return fail(path, f"worker {i}: keys differ: {sorted(diff)}")
+        for key, kind in FARM_WORKER_KEYS.items():
+            if not isinstance(worker[key], kind):
+                return fail(path, f"worker {i}: {key}={worker[key]!r}")
+        stale += worker["stale"]
+    if stale != doc["workers_stale"]:
+        return fail(path, f"workers_stale {doc['workers_stale']} != "
+                          f"{stale} stale workers")
+    print(f"validate_obs: {path}: OK ({doc['units_done']}/"
+          f"{doc['units_total']} units, {len(workers)} workers)")
+    return True
+
+
+def check_metric_delta(path, where, metric):
+    if not isinstance(metric, dict) or set(metric) != {
+            "name", "baseline", "current", "rel_delta", "regressed"}:
+        return fail(path, f"{where}: malformed metric")
+    for key in ("baseline", "current", "rel_delta"):
+        if not isinstance(metric[key], (int, float)):
+            return fail(path, f"{where}: {key} not a number")
+    if not isinstance(metric["regressed"], bool):
+        return fail(path, f"{where}: regressed not a bool")
+    return True
+
+
+def validate_regression(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-regression-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    for key in ("rel_threshold", "wall_threshold", "noise_k",
+                "wall_noise_sigma", "wall_band", "regressed",
+                "missing_in_baseline", "missing_in_current", "units"):
+        if key not in doc:
+            return fail(path, f"missing {key}")
+    if doc["wall_band"] < doc["wall_threshold"]:
+        return fail(path, "wall_band below wall_threshold")
+    any_regressed = bool(doc["missing_in_current"])
+    for i, unit in enumerate(doc["units"]):
+        expected = {"id", "benchmark", "config", "regressed", "metrics"}
+        if set(unit) - {"wall"} != expected:
+            return fail(path, f"unit {i}: keys {sorted(unit)}")
+        names = set()
+        unit_regressed = False
+        for j, metric in enumerate(unit["metrics"]):
+            if not check_metric_delta(path, f"unit {i} metric {j}",
+                                      metric):
+                return False
+            names.add(metric["name"])
+            unit_regressed |= metric["regressed"]
+        if names != {"ipc", "effective_fetch_rate",
+                     "cond_mispredict_rate"}:
+            return fail(path, f"unit {i}: metric names {sorted(names)}")
+        if "wall" in unit:
+            if not check_metric_delta(path, f"unit {i} wall",
+                                      unit["wall"]):
+                return False
+            unit_regressed |= unit["wall"]["regressed"]
+        if unit["regressed"] != unit_regressed:
+            return fail(path, f"unit {i}: regressed flag inconsistent")
+        any_regressed |= unit_regressed
+    if doc["regressed"] != any_regressed:
+        return fail(path, "top-level regressed flag inconsistent")
+    print(f"validate_obs: {path}: OK ({len(doc['units'])} units, "
+          f"regressed={doc['regressed']})")
     return True
 
 
@@ -420,10 +574,14 @@ def main():
     parser.add_argument("--bbv", action="append", default=[])
     parser.add_argument("--simpoints", action="append", default=[])
     parser.add_argument("--error-report", action="append", default=[])
+    parser.add_argument("--heartbeat", action="append", default=[])
+    parser.add_argument("--farm-status", action="append", default=[])
+    parser.add_argument("--regression", action="append", default=[])
     args = parser.parse_args()
     if not (args.trace_jsonl or args.chrome or args.intervals
             or args.fragment or args.results or args.bbv
-            or args.simpoints or args.error_report):
+            or args.simpoints or args.error_report or args.heartbeat
+            or args.farm_status or args.regression):
         parser.error("nothing to validate")
     ok = True
     for path in args.trace_jsonl:
@@ -442,6 +600,12 @@ def main():
         ok &= validate_simpoints(path)
     for path in args.error_report:
         ok &= validate_error_report(path)
+    for path in args.heartbeat:
+        ok &= validate_heartbeat(path)
+    for path in args.farm_status:
+        ok &= validate_farm_status(path)
+    for path in args.regression:
+        ok &= validate_regression(path)
     return 0 if ok else 1
 
 
