@@ -1,14 +1,8 @@
 #include "bench/artifact_cache.h"
 
-#include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
-
-#include <unistd.h>
 
 #include "common/binio.h"
 #include "common/fnv.h"
@@ -70,16 +64,34 @@ wrap(std::string_view key, std::string_view payload)
 
 } // namespace
 
+ArtifactCache::ArtifactCache(std::string dir) : dir_(std::move(dir))
+{
+    if (!dir_.empty())
+        store_ = std::make_unique<LocalDirStore>(dir_);
+}
+
+ArtifactCache::ArtifactCache(std::unique_ptr<FragmentStore> store)
+    : store_(std::move(store))
+{
+    if (auto *local = dynamic_cast<LocalDirStore *>(store_.get()))
+        dir_ = local->dir();
+}
+
+std::string
+ArtifactCache::objectName(std::string_view kind, std::string_view key)
+{
+    std::string name;
+    name.append(kind);
+    name += '/';
+    name += hashHex(fnv1a(key));
+    name += ".art";
+    return name;
+}
+
 std::string
 ArtifactCache::pathFor(std::string_view kind, std::string_view key) const
 {
-    std::string path = dir_;
-    path += '/';
-    path.append(kind);
-    path += '/';
-    path += hashHex(fnv1a(key));
-    path += ".art";
-    return path;
+    return dir_ + "/" + objectName(kind, key);
 }
 
 std::optional<std::string>
@@ -87,21 +99,17 @@ ArtifactCache::load(std::string_view kind, std::string_view key)
 {
     if (!enabled())
         return std::nullopt;
-    const std::string path = pathFor(kind, key);
+    const std::string name = objectName(kind, key);
 
     std::optional<std::string> payload;
     bool rejected = false;
-    std::ifstream file(path, std::ios::binary);
-    if (file) {
-        std::ostringstream bytes;
-        bytes << file.rdbuf();
-        payload = unwrap(std::move(bytes).str(), key);
+    if (std::optional<std::string> bytes = store_->get(name)) {
+        payload = unwrap(*bytes, key);
         if (!payload) {
-            // Corrupt wrapper: drop it so the regenerated artifact
+            // Corrupt wrapper: evict it so the regenerated artifact
             // replaces it instead of being rejected again next run.
             rejected = true;
-            std::error_code ec;
-            std::filesystem::remove(path, ec);
+            store_->remove(name);
         }
     }
 
@@ -121,40 +129,11 @@ ArtifactCache::store(std::string_view kind, std::string_view key,
 {
     if (!enabled())
         return false;
-    const std::string path = pathFor(kind, key);
-
-    std::error_code ec;
-    std::filesystem::create_directories(
-        std::filesystem::path(path).parent_path(), ec);
-    if (ec)
+    // First-wins put: concurrent stores of the same content-addressed
+    // key race benignly (identical bytes), and the backend guarantees
+    // readers never observe a torn object.
+    if (!store_->put(objectName(kind, key), wrap(key, payload)))
         return false;
-
-    // Unique temp name per process and store, then an atomic rename:
-    // concurrent writers race benignly (same bytes), and a writer
-    // killed mid-store leaves only a .tmp file that is never read.
-    static std::atomic<std::uint64_t> counter{0};
-    std::string tmp = path;
-    tmp += ".tmp.";
-    tmp += std::to_string(::getpid());
-    tmp += '.';
-    tmp += std::to_string(counter.fetch_add(1));
-
-    {
-        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-        const std::string wrapped = wrap(key, payload);
-        out.write(wrapped.data(),
-                  static_cast<std::streamsize>(wrapped.size()));
-        if (!out) {
-            std::filesystem::remove(tmp, ec);
-            return false;
-        }
-    }
-    std::filesystem::rename(tmp, path, ec);
-    if (ec) {
-        std::filesystem::remove(tmp, ec);
-        return false;
-    }
-
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.stores;
     return true;
@@ -185,6 +164,16 @@ ArtifactCache &
 ArtifactCache::process()
 {
     static ArtifactCache cache = [] {
+        const char *spec = std::getenv("TCSIM_CACHE_STORE");
+        if (spec != nullptr && spec[0] != '\0') {
+            if (auto store = openStore(spec))
+                return ArtifactCache(std::move(store));
+            std::fprintf(stderr,
+                         "artifact cache: TCSIM_CACHE_STORE '%s' "
+                         "unusable, cache disabled\n",
+                         spec);
+            return ArtifactCache();
+        }
         const char *dir = std::getenv("TCSIM_CACHE_DIR");
         return ArtifactCache(dir != nullptr ? dir : "");
     }();

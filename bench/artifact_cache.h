@@ -21,6 +21,14 @@
  * ever substitute for re-running a deterministic producer, so they
  * can change wall-clock time but never simulation results.
  *
+ * Storage is pluggable: artifacts flow through the FragmentStore
+ * interface (bench/store.h), so the same cache works against the
+ * historical local directory (TCSIM_CACHE_DIR — byte-for-byte the old
+ * layout, "<kind>/<keyhash>.art") or the shared HTTP object store
+ * (TCSIM_CACHE_STORE=http://host:port) that a multi-host farm mounts.
+ * The integrity wrapper travels with the payload, so a corrupt object
+ * from ANY backend is rejected (and evicted) instead of parsed.
+ *
  * Wrapper layout (little-endian):
  *   magic "TCARTFC1", u32 key length, key bytes,
  *   u64 payload FNV-1a hash, u64 payload length, payload bytes.
@@ -31,10 +39,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
+
+#include "bench/store.h"
 
 namespace tcsim::bench
 {
@@ -53,10 +64,14 @@ struct ArtifactCacheStats
 class ArtifactCache
 {
   public:
-    /** @param dir cache root; empty disables the cache entirely. */
-    explicit ArtifactCache(std::string dir = {}) : dir_(std::move(dir)) {}
+    /** @param dir local cache root; empty disables the cache. */
+    explicit ArtifactCache(std::string dir = {});
 
-    bool enabled() const { return !dir_.empty(); }
+    /** Route through an explicit backend (null disables). */
+    explicit ArtifactCache(std::unique_ptr<FragmentStore> store);
+
+    bool enabled() const { return store_ != nullptr; }
+    /** The local root; empty when disabled or on a remote backend. */
     const std::string &dir() const { return dir_; }
 
     /**
@@ -82,19 +97,26 @@ class ArtifactCache
     std::string getOrCreate(std::string_view kind, std::string_view key,
                             const std::function<std::string()> &produce);
 
-    /** @return the file an artifact would live at (for tests). */
+    /** @return the store object name for @p key under @p kind. */
+    static std::string objectName(std::string_view kind,
+                                  std::string_view key);
+
+    /** @return the local file an artifact would live at (for tests;
+     * meaningful only for directory-backed caches). */
     std::string pathFor(std::string_view kind, std::string_view key) const;
 
     ArtifactCacheStats stats() const;
 
     /**
-     * @return the process-wide cache configured by TCSIM_CACHE_DIR
-     * (disabled when the variable is unset or empty).
+     * @return the process-wide cache: TCSIM_CACHE_STORE (a store spec,
+     * e.g. http://host:port) wins over TCSIM_CACHE_DIR (a local
+     * directory); disabled when neither is set.
      */
     static ArtifactCache &process();
 
   private:
     std::string dir_;
+    std::unique_ptr<FragmentStore> store_;
     mutable std::mutex mutex_;
     ArtifactCacheStats stats_;
 };

@@ -439,6 +439,19 @@ enumerateUnits(const SweepOptions &options)
             unit.config = config;
             unit.insts = options.insts != 0 ? options.insts
                                             : profile.defaultMaxInsts;
+            // Per-unit override: "benchmark@config" beats "benchmark".
+            {
+                const std::string cell = benchmark + "@" + config.name;
+                bool exact = false;
+                for (const auto &[selector, insts] : options.instsFor) {
+                    if (selector == cell) {
+                        unit.insts = insts;
+                        exact = true;
+                    } else if (selector == benchmark && !exact) {
+                        unit.insts = insts;
+                    }
+                }
+            }
             unit.warmup = options.warmup;
             unit.sampled = options.sampled;
             unit.id = benchmark + "@" + config.name + "@" +
@@ -949,6 +962,35 @@ renderResultsDoc(const std::vector<WorkUnit> &units,
 }
 
 std::string
+renderPartialDoc(const std::vector<WorkUnit> &units,
+                 const std::vector<ResultIntegers> &integers,
+                 const std::vector<bool> &filled)
+{
+    TCSIM_ASSERT(units.size() == integers.size() &&
+                 units.size() == filled.size());
+    std::size_t completed = 0;
+    for (const bool f : filled)
+        completed += f ? 1 : 0;
+    std::string out = "{\n";
+    out += "  \"schema\": \"tcsim-bench-partial-v1\",\n";
+    out += "  \"matrix_hash\": \"" + matrixHash(units) + "\",\n";
+    out += "  \"units\": " + std::to_string(units.size()) + ",\n";
+    out += "  \"completed\": " + std::to_string(completed) + ",\n";
+    out += "  \"results\": [\n";
+    std::size_t emitted = 0;
+    for (std::size_t i = 0; i < units.size(); ++i) {
+        if (!filled[i])
+            continue;
+        out += "    ";
+        appendResultRecord(out, units[i], integers[i], "    ");
+        out += ++emitted < completed ? ",\n" : "\n";
+    }
+    out += "  ]\n";
+    out += "}\n";
+    return out;
+}
+
+std::string
 fragmentPath(const std::string &dir, const WorkUnit &unit)
 {
     return dir + "/" + unit.hash + ".json";
@@ -981,69 +1023,103 @@ writeFragment(const std::string &dir, const WorkUnit &unit,
     return true;
 }
 
+bool
+parseFragmentBytes(const std::string &bytes, FragmentData &out)
+{
+    const std::optional<json::Value> doc = json::parse(bytes);
+    if (!doc || !doc->isObject() ||
+        doc->getString("schema") != "tcsim-bench-fragment-v1") {
+        return false;
+    }
+    const json::Value *unit_obj = doc->find("unit");
+    const json::Value *result_obj = doc->find("result");
+    if (unit_obj == nullptr || !unit_obj->isObject() ||
+        result_obj == nullptr || !result_obj->isObject()) {
+        return false;
+    }
+    out.id = unit_obj->getString("id");
+    out.hash = unit_obj->getString("hash");
+    if (out.hash.size() != 16 || !parseResultRecord(*result_obj, out.integers))
+        return false;
+    out.timing = UnitTiming{};
+    const json::Value *timing = doc->find("timing");
+    if (timing != nullptr && timing->isObject()) {
+        out.timing.wallSeconds = timing->getDouble("wall_seconds");
+        out.timing.cacheHits = timing->getUint64("cache_hits");
+        out.timing.cacheMisses = timing->getUint64("cache_misses");
+    }
+    return true;
+}
+
+namespace
+{
+
+/** @return whether a store object name is "<something>.json". */
+bool
+isJsonName(const std::string &name)
+{
+    return name.size() > 5 &&
+           name.compare(name.size() - 5, 5, ".json") == 0;
+}
+
+} // namespace
+
 std::optional<std::string>
-mergeFragments(const SweepOptions &options,
-               const std::string &fragments_dir, MergeReport &report)
+mergeFragments(const SweepOptions &options, FragmentStore &store,
+               MergeReport &report)
 {
     const std::vector<WorkUnit> units = enumerateUnits(options);
     std::map<std::string, std::size_t> by_hash;
     for (std::size_t i = 0; i < units.size(); ++i)
         by_hash.emplace(units[i].hash, i);
 
-    // Deterministic scan order so reports are stable run to run.
-    // Heartbeat files are telemetry, not results: skipping them here
-    // is what keeps merges byte-identical with a monitor attached.
-    std::vector<std::string> files;
-    {
-        std::error_code ec;
-        for (std::filesystem::directory_iterator
-                 it(fragments_dir, ec),
-             end;
-             !ec && it != end; it.increment(ec)) {
-            if (it->path().extension() == ".json" &&
-                !obs::isHeartbeatFilename(it->path().filename().string()))
-                files.push_back(it->path().string());
-        }
-    }
-    std::sort(files.begin(), files.end());
-
     std::vector<ResultIntegers> integers(units.size());
     std::vector<bool> filled(units.size(), false);
-    for (const std::string &file : files) {
-        std::string error;
+    // list() is sorted by name — the same deterministic order as the
+    // historical sorted directory scan, so reports are stable run to
+    // run. Heartbeat objects are telemetry, not results: skipping
+    // them is what keeps merges byte-identical with a monitor
+    // attached.
+    for (const StoreObject &object : store.list("")) {
+        const std::string &name = object.name;
+        if (!isJsonName(name) || obs::isHeartbeatFilename(name))
+            continue;
+        const std::string shown = store.describe() + "/" + name;
+        const std::optional<std::string> bytes = store.get(name);
         const std::optional<json::Value> doc =
-            json::parseFile(file, &error);
+            bytes ? json::parse(*bytes) : std::nullopt;
         if (!doc || !doc->isObject() ||
             doc->getString("schema") != "tcsim-bench-fragment-v1") {
-            report.corrupt.push_back(file);
+            report.corrupt.push_back(shown);
             continue;
         }
         const json::Value *unit_obj = doc->find("unit");
         const json::Value *result_obj = doc->find("result");
         if (unit_obj == nullptr || !unit_obj->isObject() ||
             result_obj == nullptr || !result_obj->isObject()) {
-            report.corrupt.push_back(file);
+            report.corrupt.push_back(shown);
             continue;
         }
         const std::string hash = unit_obj->getString("hash");
-        // The filename stem is the claimed unit hash; a mismatch means
-        // the file was renamed or half-written and cannot be trusted.
-        if (std::filesystem::path(file).stem().string() != hash) {
-            report.corrupt.push_back(file);
+        // The name stem is the claimed unit hash; a mismatch means
+        // the object was renamed or half-written and cannot be
+        // trusted.
+        if (name.substr(0, name.size() - 5) != hash) {
+            report.corrupt.push_back(shown);
             continue;
         }
         const auto wanted = by_hash.find(hash);
         if (wanted == by_hash.end()) {
-            report.stale.push_back(file);
+            report.stale.push_back(shown);
             continue;
         }
         if (filled[wanted->second]) {
-            report.duplicates.push_back(file);
+            report.duplicates.push_back(shown);
             continue;
         }
         ResultIntegers n;
         if (!parseResultRecord(*result_obj, n)) {
-            report.corrupt.push_back(file);
+            report.corrupt.push_back(shown);
             continue;
         }
         integers[wanted->second] = n;
@@ -1059,8 +1135,16 @@ mergeFragments(const SweepOptions &options,
     return renderResultsDoc(units, integers);
 }
 
+std::optional<std::string>
+mergeFragments(const SweepOptions &options,
+               const std::string &fragments_dir, MergeReport &report)
+{
+    LocalDirStore store(fragments_dir);
+    return mergeFragments(options, store, report);
+}
+
 FarmScan
-scanFarm(const SweepOptions &options, const std::string &fragments_dir)
+scanFarm(const SweepOptions &options, FragmentStore &store)
 {
     FarmScan scan;
     const std::vector<WorkUnit> units = enumerateUnits(options);
@@ -1069,49 +1153,29 @@ scanFarm(const SweepOptions &options, const std::string &fragments_dir)
     for (const WorkUnit &unit : units)
         by_hash.emplace(unit.hash, &unit);
 
-    std::vector<std::string> files;
-    {
-        std::error_code ec;
-        for (std::filesystem::directory_iterator
-                 it(fragments_dir, ec),
-             end;
-             !ec && it != end; it.increment(ec)) {
-            if (it->path().extension() == ".json")
-                files.push_back(it->path().string());
-        }
-    }
-    std::sort(files.begin(), files.end());
-
-    const auto now_fs = std::filesystem::file_time_type::clock::now();
-    for (const std::string &file : files) {
-        const std::string name =
-            std::filesystem::path(file).filename().string();
+    for (const StoreObject &object : store.list("")) {
+        const std::string &name = object.name;
+        if (!isJsonName(name))
+            continue;
+        const std::optional<std::string> bytes = store.get(name);
+        if (!bytes)
+            continue;
         if (obs::isHeartbeatFilename(name)) {
             // A torn or half-renamed heartbeat is simply skipped; the
             // next beat replaces it within one interval.
-            std::ifstream in(file, std::ios::binary);
-            std::stringstream buffer;
-            buffer << in.rdbuf();
             const std::optional<obs::Heartbeat> hb =
-                obs::parseHeartbeat(buffer.str());
+                obs::parseHeartbeat(*bytes);
             if (!hb)
                 continue;
             obs::WorkerObservation observed;
             observed.hb = *hb;
-            std::error_code ec;
-            const auto mtime =
-                std::filesystem::last_write_time(file, ec);
-            observed.ageSeconds =
-                ec ? 0.0
-                   : std::max(0.0, std::chrono::duration<double>(
-                                       now_fs - mtime)
-                                       .count());
+            observed.ageSeconds = object.ageSeconds;
             scan.workers.push_back(std::move(observed));
             continue;
         }
         // Fragment: only the unit hash and the timing section matter
         // here; the merge layer does the full validation later.
-        const std::optional<json::Value> doc = json::parseFile(file);
+        const std::optional<json::Value> doc = json::parse(*bytes);
         if (!doc || !doc->isObject() ||
             doc->getString("schema") != "tcsim-bench-fragment-v1") {
             continue;
@@ -1122,7 +1186,7 @@ scanFarm(const SweepOptions &options, const std::string &fragments_dir)
         const std::string hash = unit_obj->getString("hash");
         const auto wanted = by_hash.find(hash);
         if (wanted == by_hash.end() ||
-            std::filesystem::path(file).stem().string() != hash) {
+            name.substr(0, name.size() - 5) != hash) {
             continue;
         }
         CompletedUnit completed;
@@ -1134,6 +1198,13 @@ scanFarm(const SweepOptions &options, const std::string &fragments_dir)
         scan.completed.push_back(std::move(completed));
     }
     return scan;
+}
+
+FarmScan
+scanFarm(const SweepOptions &options, const std::string &fragments_dir)
+{
+    LocalDirStore store(fragments_dir);
+    return scanFarm(options, store);
 }
 
 } // namespace tcsim::bench

@@ -38,6 +38,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/store.h"
 #include "obs/farm.h"
 #include "sim/accounting.h"
 #include "sim/config.h"
@@ -98,6 +99,15 @@ struct SweepOptions
     std::uint64_t warmup = 0;
     /** Sampled-execution dimension applied to every unit. */
     SampledParams sampled;
+    /**
+     * Per-unit instruction-budget overrides: selector -> insts, where
+     * a selector is "benchmark" (every config of that benchmark) or
+     * "benchmark@config" (one cell; beats the benchmark-wide form).
+     * Overrides feed the unit id, so hashes — and therefore fragment
+     * validity — track them automatically. Used to build deliberately
+     * skewed matrices for scheduler stress tests.
+     */
+    std::vector<std::pair<std::string, std::uint64_t>> instsFor;
 };
 
 /** The paper's headline configurations, used when none are named. */
@@ -222,6 +232,18 @@ std::string renderFragment(const WorkUnit &unit,
 std::string renderResultsDoc(const std::vector<WorkUnit> &units,
                              const std::vector<ResultIntegers> &integers);
 
+/**
+ * Render the rolling partial document ("tcsim-bench-partial-v1") for
+ * a matrix that is still filling in: the units of @p units whose
+ * @p filled flag is set, in enumeration order. Each included record
+ * is rendered by the same shared renderer as the canonical document,
+ * so a partial row is byte-identical to the corresponding row of the
+ * final document.
+ */
+std::string renderPartialDoc(const std::vector<WorkUnit> &units,
+                             const std::vector<ResultIntegers> &integers,
+                             const std::vector<bool> &filled);
+
 /** @return "<dir>/<hash>.json", the fragment path for @p unit. */
 std::string fragmentPath(const std::string &dir, const WorkUnit &unit);
 
@@ -229,6 +251,24 @@ std::string fragmentPath(const std::string &dir, const WorkUnit &unit);
 bool writeFragment(const std::string &dir, const WorkUnit &unit,
                    const ResultIntegers &integers,
                    const UnitTiming &timing);
+
+/** Everything parsed out of one fragment document. */
+struct FragmentData
+{
+    std::string id;
+    std::string hash;
+    ResultIntegers integers;
+    UnitTiming timing; ///< zeros when the timing section is absent
+};
+
+/**
+ * Strictly parse one fragment document: schema, unit identity and the
+ * full canonical integer record must all be present and well-formed.
+ * This is the scheduler's streaming-merge entry point — a fragment
+ * rejected here is treated as never delivered (the unit stays
+ * dispatchable), which is what makes a torn or corrupted upload safe.
+ */
+bool parseFragmentBytes(const std::string &bytes, FragmentData &out);
 
 /** What the merge (or check) pass found in a fragments directory. */
 struct MergeReport
@@ -258,6 +298,16 @@ std::optional<std::string> mergeFragments(const SweepOptions &options,
                                           const std::string &fragments_dir,
                                           MergeReport &report);
 
+/**
+ * Same merge over any FragmentStore backend. For a LocalDirStore this
+ * is byte-for-byte the directory merge above (same scan order, same
+ * report strings); for an HttpStore it merges what workers uploaded
+ * to the shim without needing filesystem access to the backing dir.
+ */
+std::optional<std::string> mergeFragments(const SweepOptions &options,
+                                          FragmentStore &store,
+                                          MergeReport &report);
+
 /** One completed unit as observed in a fragments directory. */
 struct CompletedUnit
 {
@@ -285,6 +335,10 @@ struct FarmScan
  */
 FarmScan scanFarm(const SweepOptions &options,
                   const std::string &fragments_dir);
+
+/** Same telemetry poll over any FragmentStore backend (heartbeat
+ * staleness comes from the store's per-object age metadata). */
+FarmScan scanFarm(const SweepOptions &options, FragmentStore &store);
 
 } // namespace tcsim::bench
 

@@ -23,13 +23,31 @@
 # workers and runs via the content-addressed cache in TCSIM_CACHE_DIR
 # (default .tcsim_cache).
 #
-# Usage: run_benches.sh [--long] [--sweep N] [--inject-kill]
-#                       [--warm-compare] [--sampled-errors]
-#                       [--monitor] [--regress-against FILE]
+# Scheduler mode (--sched N): runs a deliberately skewed matrix (one
+# cell gets ~10x the instruction budget via --insts-for) twice at
+# equal worker count — once as N static --shard workers, once as N
+# `tcsim_sweep --pull` workers against a tools/tcsim_sched instance
+# (work-stealing dispatch + straggler re-dispatch) — asserts the two
+# documents are byte-identical, and records both wall-clocks plus the
+# scheduler counters in BENCH_results.json (section "sched"). The
+# point of the exercise: static sharding strands the small units that
+# share a shard with the skewed one, the work-stealing pool does not.
+#
+# Usage: run_benches.sh [--long] [--sweep N] [--sched N]
+#                       [--inject-kill] [--warm-compare]
+#                       [--sampled-errors] [--monitor]
+#                       [--regress-against FILE]
 #   --long          raise the default instruction budget to 1M per run
 #                   (statistically meaningful sweeps; an explicit
 #                   TCSIM_INSTS still wins).
 #   --sweep N       sweep mode with N worker processes.
+#   --sched N       scheduler-vs-static comparison with N workers
+#                   each. Environment: TCSIM_SCHED_SKEW selects the
+#                   skewed cell ("benchmark@config", default
+#                   li@baseline — must name a cell of the matrix),
+#                   TCSIM_SCHED_SKEW_FACTOR its budget multiplier
+#                   (default 10), TCSIM_FARM_TOKEN the farm secret
+#                   (generated if unset).
 #   --inject-kill   (sweep mode) worker 0 SIGKILLs itself after one
 #                   unit, exercising the crash-retry path (CI).
 #   --warm-compare  (sweep mode) after the merge, re-run the matrix
@@ -81,6 +99,7 @@
 cd /root/repo || exit 1
 
 sweep_shards=0
+sched_workers=0
 inject_kill=0
 warm_compare=0
 sampled_errors=0
@@ -94,6 +113,10 @@ while [ $# -gt 0 ]; do
         --sweep)
             shift
             sweep_shards="$1"
+            ;;
+        --sched)
+            shift
+            sched_workers="$1"
             ;;
         --inject-kill)
             inject_kill=1
@@ -118,6 +141,145 @@ while [ $# -gt 0 ]; do
     esac
     shift
 done
+
+# ----------------------------------------------------------------------
+# Scheduler mode: work-stealing dispatch vs static sharding on a
+# deliberately skewed matrix.
+# ----------------------------------------------------------------------
+if [ "$sched_workers" -gt 0 ]; then
+    sweep_bin=build/tools/tcsim_sweep
+    sched_bin=build/tools/tcsim_sched
+    for bin in "$sweep_bin" "$sched_bin"; do
+        [ -x "$bin" ] || { echo "$bin not built" >&2; exit 1; }
+    done
+    if [ "$sched_workers" -lt 2 ]; then
+        echo "--sched needs at least 2 workers" >&2
+        exit 1
+    fi
+
+    insts="${TCSIM_INSTS:-200000}"
+    skew_cell="${TCSIM_SCHED_SKEW:-li@baseline}"
+    skew_factor="${TCSIM_SCHED_SKEW_FACTOR:-10}"
+    cache_dir="${TCSIM_CACHE_DIR-.tcsim_cache}"
+    export TCSIM_FARM_TOKEN="${TCSIM_FARM_TOKEN:-sched-$$-$(date +%s)}"
+
+    # The skewed matrix: one cell gets skew_factor x the budget, so a
+    # static partition strands whatever shares its shard. The matrix
+    # is wide enough (16 units by default) that the skewed unit is
+    # close to — not above — one worker's ideal share; that is the
+    # regime where dispatch policy, not the critical path, decides
+    # the makespan.
+    # shellcheck disable=SC2206
+    matrix_args=(${TCSIM_SWEEP_ARGS:---benchmarks
+                  compress,li,go,gcc,ijpeg,m88ksim,perl,vortex
+                  --configs baseline,promotion-t64})
+    matrix_args+=(--insts "$insts"
+                  --insts-for "$skew_cell=$((insts * skew_factor))")
+    [ -n "${TCSIM_WARMUP:-}" ] && matrix_args+=(--warmup "$TCSIM_WARMUP")
+    run_args=("${matrix_args[@]}")
+    [ -n "$cache_dir" ] && run_args+=(--cache-dir "$cache_dir")
+
+    sched_dir=.sched.tmp
+    rm -rf "$sched_dir"
+    mkdir -p "$sched_dir/static.frags" "$sched_dir/sched.frags"
+
+    n_units=$("$sweep_bin" --list "${matrix_args[@]}" \
+                  | sed -n 's/^matrix [0-9a-f]* (\([0-9]*\) units)$/\1/p')
+    [ -n "$n_units" ] || { echo "cannot enumerate matrix" >&2; exit 1; }
+    echo "sched: $n_units units, $sched_workers workers," \
+         "cell $skew_cell skewed ${skew_factor}x"
+
+    # Reference run: byte-identity oracle AND cache warm-up, so the
+    # timed runs below compare dispatch policy, not artifact
+    # generation luck.
+    "$sweep_bin" "${run_args[@]}" --out "$sched_dir/reference.json" \
+        > "$sched_dir/reference.log" 2>&1 || {
+        echo "sched: reference run failed" >&2; exit 1; }
+
+    echo "sched: static --shard $sched_workers baseline..."
+    static_start=$(date +%s.%N)
+    pids=()
+    for i in $(seq 0 $((sched_workers - 1))); do
+        "$sweep_bin" "${run_args[@]}" --shard "$i/$sched_workers" \
+            --fragments-dir "$sched_dir/static.frags" \
+            > "$sched_dir/static.$i.log" 2>&1 &
+        pids+=($!)
+    done
+    for pid in "${pids[@]}"; do
+        wait "$pid" || { echo "sched: static worker failed" >&2; exit 1; }
+    done
+    static_wall=$(date +%s.%N | awk -v s="$static_start" '{print $1 - s}')
+    "$sweep_bin" "${run_args[@]}" --merge \
+        --fragments-dir "$sched_dir/static.frags" \
+        --out "$sched_dir/static.json" || exit 1
+    cmp "$sched_dir/reference.json" "$sched_dir/static.json" || {
+        echo "sched: static merge not byte-identical" >&2; exit 1; }
+
+    echo "sched: work-stealing scheduler with $sched_workers workers..."
+    sched_start=$(date +%s.%N)
+    "$sched_bin" "${matrix_args[@]}" \
+        --fragments-dir "$sched_dir/sched.frags" \
+        --out "$sched_dir/sched.json" --port 0 \
+        --port-file "$sched_dir/port" \
+        --status-out "$sched_dir/status.json" \
+        --max-seconds "${TCSIM_UNIT_TIMEOUT:-600}" \
+        > "$sched_dir/sched.log" 2>&1 &
+    sched_pid=$!
+    for _ in $(seq 200); do
+        [ -s "$sched_dir/port" ] && break
+        kill -0 "$sched_pid" 2>/dev/null || {
+            echo "sched: scheduler died before binding" >&2; exit 1; }
+        sleep 0.05
+    done
+    url="http://127.0.0.1:$(cat "$sched_dir/port")"
+    pids=()
+    for i in $(seq 0 $((sched_workers - 1))); do
+        "$sweep_bin" "${run_args[@]}" --pull "$url" --worker "pull$i" \
+            > "$sched_dir/pull.$i.log" 2>&1 &
+        pids+=($!)
+    done
+    wait "$sched_pid" || {
+        echo "sched: scheduler failed (log: $sched_dir/sched.log)" >&2
+        exit 1; }
+    sched_wall=$(date +%s.%N | awk -v s="$sched_start" '{print $1 - s}')
+    for pid in "${pids[@]}"; do wait "$pid" || true; done
+    cmp "$sched_dir/reference.json" "$sched_dir/sched.json" || {
+        echo "sched: scheduled merge not byte-identical" >&2; exit 1; }
+
+    speedup=$(awk -v a="$static_wall" -v b="$sched_wall" \
+                  'BEGIN {printf "%.3f", a / b}')
+    counters=$(python3 - "$sched_dir/status.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+print(doc["redispatches"], doc["leases_expired"], doc["duplicates"])
+EOF
+    )
+    read -r redispatches leases_expired duplicates <<< "$counters"
+    {
+        printf '{"schema":"tcsim-bench-exhibits-v1",'
+        printf '"sched":{"workers":%d,"units":%d,' \
+            "$sched_workers" "$n_units"
+        printf '"skew_cell":"%s","skew_factor":%d,' \
+            "$skew_cell" "$skew_factor"
+        printf '"static_wall_seconds":%.3f,"sched_wall_seconds":%.3f,' \
+            "$static_wall" "$sched_wall"
+        printf '"speedup":%s,' "$speedup"
+        printf '"redispatches":%d,"leases_expired":%d,"duplicates":%d,' \
+            "$redispatches" "$leases_expired" "$duplicates"
+        printf '"byte_identical":true},"exhibits":[]}\n'
+    } > BENCH_results.json
+    echo "sched: static ${static_wall}s vs scheduled ${sched_wall}s" \
+         "(speedup ${speedup}x, results: BENCH_results.json)"
+    rm -rf "$sched_dir"
+    if ! awk -v s="$speedup" 'BEGIN {exit !(s > 1.0)}'; then
+        echo "SCHED FAILED: work stealing did not beat static" \
+             "sharding on the skewed matrix" >&2
+        exit 3
+    fi
+    echo "SCHED COMPLETE: work stealing beats static sharding" \
+         "${speedup}x on the skewed matrix"
+    exit 0
+fi
 
 # ----------------------------------------------------------------------
 # Sweep mode.
@@ -221,9 +383,12 @@ if [ "$sweep_shards" -gt 0 ]; then
     declare -A unit_retries=()
     : > "$sweep_dir/timeout_kills.txt"
     for pass in $(seq 1 "$max_retries"); do
+        # --missing-out writes the retry worklist atomically (the
+        # stdout listing is kept for the log only).
         "$sweep_bin" --check --fragments-dir "$frags" \
-            "${matrix_args[@]}" > "$sweep_dir/missing.txt" \
-            2> "$sweep_dir/check.log" && break
+            "${matrix_args[@]}" \
+            --missing-out "$sweep_dir/missing.txt" \
+            > "$sweep_dir/check.log" 2>&1 && break
         n_missing=$(wc -l < "$sweep_dir/missing.txt")
         echo "sweep: retry pass $pass for $n_missing missing units"
         retries_used=$pass

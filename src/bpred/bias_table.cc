@@ -34,17 +34,20 @@ BranchBiasTable::indexOf(Addr pc) const
                                       indexMask_);
 }
 
-std::uint64_t
+std::uint32_t
 BranchBiasTable::tagOf(Addr pc) const
 {
-    return (pc / isa::kInstBytes) >> tagShift_;
+    const std::uint64_t tag = (pc / isa::kInstBytes) >> tagShift_;
+    TCSIM_ASSERT(tag < Entry::kNoTag,
+                 "branch pc beyond the 32-bit tag range");
+    return static_cast<std::uint32_t>(tag);
 }
 
 void
 BranchBiasTable::update(Addr pc, bool taken)
 {
     Entry &entry = entries_[indexOf(pc)];
-    const std::uint64_t tag = tagOf(pc);
+    const std::uint32_t tag = tagOf(pc);
 
     if (entry.tag != tag) {
         // Miss: the displaced branch loses any promoted status.
@@ -113,7 +116,12 @@ BranchBiasTable::saveState(std::ostream &os) const
     writeScalar<std::uint64_t>(os, promotions_);
     writeScalar<std::uint64_t>(os, demotions_);
     for (const Entry &entry : entries_) {
-        writeScalar<std::uint64_t>(os, entry.tag);
+        // The checkpoint keeps the original 64-bit tag field so blobs
+        // written before the 8-byte entry packing stay loadable; the
+        // in-memory empty sentinel maps to the wide all-ones one.
+        writeScalar<std::uint64_t>(os, entry.tag == Entry::kNoTag
+                                           ? ~std::uint64_t{0}
+                                           : entry.tag);
         writeScalar<std::uint32_t>(os, entry.meta);
     }
 }
@@ -135,8 +143,15 @@ BranchBiasTable::restoreState(std::istream &is)
         return false;
     std::vector<Entry> loaded(params_.entries);
     for (Entry &entry : loaded) {
-        if (!readScalar(is, entry.tag) || !readScalar(is, entry.meta))
+        std::uint64_t tag = 0;
+        if (!readScalar(is, tag) || !readScalar(is, entry.meta))
             return false;
+        if (tag == ~std::uint64_t{0})
+            entry.tag = Entry::kNoTag;
+        else if (tag >= Entry::kNoTag)
+            return false; // cannot represent in the packed entry
+        else
+            entry.tag = static_cast<std::uint32_t>(tag);
         if (entry.count() > params_.counterMax)
             return false;
     }

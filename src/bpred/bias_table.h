@@ -88,19 +88,24 @@ class BranchBiasTable
 
   private:
     /**
-     * One table slot, packed to 16 bytes (4 per cache line vs. 2 for
+     * One table slot, packed to 8 bytes (8 per cache line vs. 2 for
      * the naive bool-padded layout) so the open-addressed
-     * (direct-mapped, probe-free) lookup touches fewer lines. The
+     * (direct-mapped, probe-free) lookup touches fewer lines. The tag
+     * is stored narrow: with 4-byte instructions and >= 1K entries a
+     * 32-bit tag covers any pc below 2^44, far beyond the synthetic
+     * workloads' address space (tagOf() asserts the invariant), and
+     * 0xFFFFFFFF is reserved as the empty sentinel. The
      * consecutive-outcome count and the three flags share one word:
      * count in bits [0,28), lastOutcome/promoted/promotedDir in bits
-     * 28/29/30. Counter semantics are unchanged.
+     * 28/29/30. Counter semantics are unchanged, and the TCBIASv1
+     * checkpoint format still carries 64-bit tags on disk.
      */
     struct Entry
     {
-        std::uint64_t tag = kNoTag;
+        std::uint32_t tag = kNoTag;
         std::uint32_t meta = 0;
 
-        static constexpr std::uint64_t kNoTag = ~std::uint64_t{0};
+        static constexpr std::uint32_t kNoTag = ~std::uint32_t{0};
         static constexpr std::uint32_t kCountMask = (1u << 28) - 1;
         static constexpr std::uint32_t kLastOutcomeBit = 1u << 28;
         static constexpr std::uint32_t kPromotedBit = 1u << 29;
@@ -122,10 +127,10 @@ class BranchBiasTable
             meta = value ? meta | bit : meta & ~bit;
         }
     };
-    static_assert(sizeof(Entry) == 16, "four entries per cache line");
+    static_assert(sizeof(Entry) == 8, "eight entries per cache line");
 
     std::uint32_t indexOf(Addr pc) const;
-    std::uint64_t tagOf(Addr pc) const;
+    std::uint32_t tagOf(Addr pc) const;
 
     BiasTableParams params_;
     std::uint32_t indexMask_; ///< entries - 1, hoisted

@@ -164,8 +164,24 @@ HeartbeatEmitter::HeartbeatEmitter(std::string dir, std::string worker,
     : dir_(std::move(dir)), interval_(interval_seconds)
 {
     enabled_ = !dir_.empty() && interval_ > 0.0;
-    if (!enabled_)
-        return;
+    if (enabled_)
+        startThread(std::move(worker), units_total);
+}
+
+HeartbeatEmitter::HeartbeatEmitter(
+    std::function<void(const Heartbeat &)> sink, std::string worker,
+    double interval_seconds, std::uint64_t units_total)
+    : sink_(std::move(sink)), interval_(interval_seconds)
+{
+    enabled_ = static_cast<bool>(sink_) && interval_ > 0.0;
+    if (enabled_)
+        startThread(std::move(worker), units_total);
+}
+
+void
+HeartbeatEmitter::startThread(std::string worker,
+                              std::uint64_t units_total)
+{
     state_.worker = std::move(worker);
     state_.pid = static_cast<std::int64_t>(getpid());
     state_.startMono = monoSeconds();
@@ -248,6 +264,17 @@ HeartbeatEmitter::snapshotLocked()
 }
 
 void
+HeartbeatEmitter::emit(const Heartbeat &hb)
+{
+    // Best-effort: a heartbeat that cannot be delivered must never
+    // kill the worker — the simulation result is what matters.
+    if (sink_)
+        sink_(hb);
+    else
+        (void)writeHeartbeat(dir_, hb);
+}
+
+void
 HeartbeatEmitter::writeNow()
 {
     Heartbeat hb;
@@ -255,9 +282,7 @@ HeartbeatEmitter::writeNow()
         std::lock_guard<std::mutex> lock(mutex_);
         hb = snapshotLocked();
     }
-    // Best-effort: a heartbeat that cannot be written must never kill
-    // the worker — the simulation result is what matters.
-    (void)writeHeartbeat(dir_, hb);
+    emit(hb);
 }
 
 void
@@ -270,7 +295,7 @@ HeartbeatEmitter::threadMain()
             break;
         const Heartbeat hb = snapshotLocked();
         lock.unlock();
-        (void)writeHeartbeat(dir_, hb);
+        emit(hb);
         lock.lock();
     }
 }

@@ -25,6 +25,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -88,6 +89,17 @@ class HeartbeatEmitter
   public:
     HeartbeatEmitter(std::string dir, std::string worker,
                      double interval_seconds, std::uint64_t units_total);
+
+    /**
+     * Deliver heartbeats through @p sink instead of a directory —
+     * e.g. a PUT of the rendered document to the shared object store
+     * under heartbeat naming. A null sink disables the emitter. The
+     * sink runs on the emitter thread and must be best-effort: its
+     * failures are its own to swallow.
+     */
+    HeartbeatEmitter(std::function<void(const Heartbeat &)> sink,
+                     std::string worker, double interval_seconds,
+                     std::uint64_t units_total);
     ~HeartbeatEmitter();
 
     HeartbeatEmitter(const HeartbeatEmitter &) = delete;
@@ -109,10 +121,13 @@ class HeartbeatEmitter
 
   private:
     Heartbeat snapshotLocked();
+    void emit(const Heartbeat &hb);
     void writeNow();
     void threadMain();
+    void startThread(std::string worker, std::uint64_t units_total);
 
     const std::string dir_;
+    const std::function<void(const Heartbeat &)> sink_;
     const double interval_;
     bool enabled_ = false;
 

@@ -1,106 +1,13 @@
 #include "obs/status_server.h"
 
-#include <cctype>
-#include <cstdio>
-#include <cstring>
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
+#include "obs/http.h"
 
 namespace tcsim::obs
 {
 
-namespace
-{
+StatusServer::StatusServer() = default;
 
-void
-sendAll(int fd, const std::string &bytes)
-{
-    std::size_t sent = 0;
-    while (sent < bytes.size()) {
-        const ssize_t n =
-            send(fd, bytes.data() + sent, bytes.size() - sent,
-                 MSG_NOSIGNAL);
-        if (n <= 0)
-            return;
-        sent += static_cast<std::size_t>(n);
-    }
-}
-
-std::string
-httpResponse(const char *status_line, const std::string &body)
-{
-    std::string out = "HTTP/1.0 ";
-    out += status_line;
-    out += "\r\nContent-Type: application/json\r\n";
-    out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-    out += "Connection: close\r\n";
-    if (std::strncmp(status_line, "401", 3) == 0)
-        out += "WWW-Authenticate: Bearer\r\n";
-    out += "\r\n";
-    out += body;
-    return out;
-}
-
-/** Extract "METHOD PATH" plus the bearer token (if any) from a raw
- * request head. Tolerant of \r\n or \n line endings. */
-struct RequestHead
-{
-    std::string method;
-    std::string path;
-    std::string bearer;
-};
-
-RequestHead
-parseRequestHead(const std::string &raw)
-{
-    RequestHead head;
-    std::size_t line_end = raw.find('\n');
-    const std::string first =
-        raw.substr(0, line_end == std::string::npos ? raw.size()
-                                                    : line_end);
-    {
-        const std::size_t sp1 = first.find(' ');
-        if (sp1 != std::string::npos) {
-            head.method = first.substr(0, sp1);
-            const std::size_t sp2 = first.find(' ', sp1 + 1);
-            head.path = first.substr(
-                sp1 + 1,
-                sp2 == std::string::npos ? std::string::npos
-                                         : sp2 - sp1 - 1);
-        }
-    }
-    constexpr const char *kHeader = "authorization:";
-    std::size_t pos = line_end;
-    while (pos != std::string::npos && pos + 1 < raw.size()) {
-        const std::size_t start = pos + 1;
-        pos = raw.find('\n', start);
-        std::string line = raw.substr(
-            start,
-            pos == std::string::npos ? std::string::npos : pos - start);
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        std::string lower = line;
-        for (char &c : lower)
-            c = static_cast<char>(
-                std::tolower(static_cast<unsigned char>(c)));
-        if (lower.rfind(kHeader, 0) != 0)
-            continue;
-        std::string value = line.substr(std::strlen(kHeader));
-        while (!value.empty() && value.front() == ' ')
-            value.erase(value.begin());
-        constexpr const char *kBearer = "Bearer ";
-        if (value.rfind(kBearer, 0) == 0)
-            head.bearer = value.substr(std::strlen(kBearer));
-        break;
-    }
-    return head;
-}
-
-} // namespace
+StatusServer::~StatusServer() { stop(); }
 
 bool
 StatusServer::start(const std::string &bind_addr, std::uint16_t port,
@@ -114,40 +21,31 @@ StatusServer::start(const std::string &bind_addr, std::uint16_t port,
                      "bearer token (set TCSIM_STATUS_TOKEN)\n");
         return false;
     }
-    listenFd_ = socket(AF_INET, SOCK_STREAM, 0);
-    if (listenFd_ < 0) {
-        std::perror("status server: socket");
+    server_ = std::make_unique<HttpServer>();
+    const bool ok = server_->start(
+        bind_addr, port, token, [this](const HttpRequest &request) {
+            HttpResponse resp;
+            if (request.method != "GET") {
+                resp.status = 405;
+                resp.body = "{\"error\": \"method\"}\n";
+                return resp;
+            }
+            if (request.path != "/" && request.path != "/status" &&
+                request.path != "/status/") {
+                resp.status = 404;
+                resp.body = "{\"error\": \"not found\"}\n";
+                return resp;
+            }
+            std::lock_guard<std::mutex> lock(snapshotMutex_);
+            resp.body = snapshot_;
+            return resp;
+        });
+    if (!ok) {
+        server_.reset();
         return false;
     }
-    const int one = 1;
-    setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    if (inet_pton(AF_INET, bind_addr.c_str(), &addr.sin_addr) != 1) {
-        std::fprintf(stderr, "status server: bad bind address '%s'\n",
-                     bind_addr.c_str());
-        close(listenFd_);
-        listenFd_ = -1;
-        return false;
-    }
-    if (bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-             sizeof(addr)) != 0 ||
-        listen(listenFd_, 16) != 0) {
-        std::perror("status server: bind/listen");
-        close(listenFd_);
-        listenFd_ = -1;
-        return false;
-    }
-    socklen_t len = sizeof(addr);
-    if (getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
-                    &len) == 0) {
-        port_ = ntohs(addr.sin_port);
-    }
-    token_ = token;
-    stopping_.store(false);
+    port_ = server_->port();
     running_.store(true);
-    thread_ = std::thread(&StatusServer::serveLoop, this);
     return true;
 }
 
@@ -163,78 +61,10 @@ StatusServer::stop()
 {
     if (!running_.load())
         return;
-    stopping_.store(true);
-    if (thread_.joinable())
-        thread_.join();
-    if (listenFd_ >= 0) {
-        close(listenFd_);
-        listenFd_ = -1;
-    }
+    server_->stop();
+    server_.reset();
     running_.store(false);
     port_ = 0;
-}
-
-void
-StatusServer::serveLoop()
-{
-    while (!stopping_.load()) {
-        pollfd pfd{listenFd_, POLLIN, 0};
-        const int ready = poll(&pfd, 1, /*timeout_ms=*/200);
-        if (ready <= 0)
-            continue;
-        const int fd = accept(listenFd_, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        handleConnection(fd);
-        close(fd);
-    }
-}
-
-void
-StatusServer::handleConnection(int fd)
-{
-    // One bounded read is enough: GET requests carry no body, and a
-    // peer that dribbles headers slower than the timeout just gets
-    // judged on what arrived.
-    std::string raw;
-    char buf[4096];
-    for (int rounds = 0; rounds < 8; ++rounds) {
-        pollfd pfd{fd, POLLIN, 0};
-        if (poll(&pfd, 1, /*timeout_ms=*/500) <= 0)
-            break;
-        const ssize_t n = recv(fd, buf, sizeof(buf), 0);
-        if (n <= 0)
-            break;
-        raw.append(buf, static_cast<std::size_t>(n));
-        if (raw.find("\r\n\r\n") != std::string::npos ||
-            raw.find("\n\n") != std::string::npos ||
-            raw.size() > 64 * 1024) {
-            break;
-        }
-    }
-    const RequestHead head = parseRequestHead(raw);
-    if (head.bearer != token_) {
-        sendAll(fd, httpResponse("401 Unauthorized",
-                                 "{\"error\": \"unauthorized\"}\n"));
-        return;
-    }
-    if (head.method != "GET") {
-        sendAll(fd, httpResponse("405 Method Not Allowed",
-                                 "{\"error\": \"method\"}\n"));
-        return;
-    }
-    if (head.path != "/" && head.path != "/status" &&
-        head.path != "/status/") {
-        sendAll(fd, httpResponse("404 Not Found",
-                                 "{\"error\": \"not found\"}\n"));
-        return;
-    }
-    std::string body;
-    {
-        std::lock_guard<std::mutex> lock(snapshotMutex_);
-        body = snapshot_;
-    }
-    sendAll(fd, httpResponse("200 OK", body));
 }
 
 } // namespace tcsim::obs

@@ -11,7 +11,9 @@
  *
  * Scope: one accept loop, one request per connection, GET only,
  * no TLS — this is a LAN/CI liveness endpoint, not a public API.
- * Implemented with plain POSIX sockets; no third-party dependency.
+ * Built on the shared obs/http server (plain POSIX sockets; no
+ * third-party dependency), which the object-store shim and the sweep
+ * scheduler reuse.
  */
 
 #ifndef TCSIM_OBS_STATUS_SERVER_H
@@ -19,18 +21,21 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
+#include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 
 namespace tcsim::obs
 {
 
+class HttpServer;
+
 class StatusServer
 {
   public:
-    StatusServer() = default;
-    ~StatusServer() { stop(); }
+    StatusServer();
+    ~StatusServer();
 
     StatusServer(const StatusServer &) = delete;
     StatusServer &operator=(const StatusServer &) = delete;
@@ -57,15 +62,9 @@ class StatusServer
     void stop();
 
   private:
-    void serveLoop();
-    void handleConnection(int fd);
-
-    int listenFd_ = -1;
+    std::unique_ptr<HttpServer> server_;
     std::uint16_t port_ = 0;
-    std::string token_;
     std::atomic<bool> running_{false};
-    std::atomic<bool> stopping_{false};
-    std::thread thread_;
 
     std::mutex snapshotMutex_;
     std::string snapshot_ = "{}\n";

@@ -1,0 +1,115 @@
+#!/bin/bash
+# End-to-end chaos smoke test for the sweep scheduler, driven by ctest:
+#
+#  1. single-process reference document,
+#  2. fragments dir pre-seeded with garbage: a stale fragment from a
+#     DIFFERENT matrix (old config fingerprint) and a corrupt object —
+#     the scheduler's resume scan must ignore both,
+#  3. tcsim_sched + 3 pulled workers, one SIGKILLed mid-lease
+#     (--die-mid-unit) and one injected straggler (--inject-slow-ms):
+#     the schedule must recover both units (lease expiry / speculative
+#     re-dispatch), with at least one re-dispatch observed,
+#  4. the streamed-merge document must be byte-identical to the
+#     single-process reference, and the status / partial / manifest
+#     documents must validate against their schemas,
+#  5. a scheduler restart over the finished store resumes to done
+#     without dispatching anything.
+#
+# Usage: sched_smoke.sh <cmake-build-dir>
+set -eu
+
+sweep="$1/tools/tcsim_sweep"
+sched="$1/tools/tcsim_sched"
+validate="$(cd "$(dirname "$0")/.." && pwd)/tools/validate_obs.py"
+for bin in "$sweep" "$sched"; do
+    [ -x "$bin" ] || { echo "missing binary: $bin" >&2; exit 1; }
+done
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"; kill $(jobs -p) 2>/dev/null || true' EXIT
+
+export TCSIM_FARM_TOKEN=sched-smoke-secret
+
+matrix=(--benchmarks compress,li --configs baseline,promotion-t64
+        --insts 20000 --warmup 5000)
+margs=("${matrix[@]}" --cache-dir "$scratch/cache")
+
+echo "== single-process reference =="
+"$sweep" "${margs[@]}" --out "$scratch/single.json"
+
+echo "== pre-seed chaos: stale fragment + corrupt object =="
+# A fragment from a different matrix (other insts budget => other
+# config fingerprint and content hash): valid bytes, wrong sweep.
+"$sweep" --benchmarks compress --configs baseline --insts 10000 \
+         --cache-dir "$scratch/cache" --shard 0/1 \
+         --fragments-dir "$scratch/frags"
+stale=$(ls "$scratch/frags"/*.json)
+[ -n "$stale" ] || { echo "no stale fragment seeded" >&2; exit 1; }
+echo '{"schema": "tcsim-bench-fragment-v1", "truncated' \
+    > "$scratch/frags/0123456789abcdef.json"
+
+echo "== scheduler + kill + straggler chaos =="
+"$sched" "${matrix[@]}" --fragments-dir "$scratch/frags" \
+         --out "$scratch/sched.json" --port 0 \
+         --port-file "$scratch/port" --lease-timeout 4 \
+         --straggler-k 2 --min-median-samples 2 \
+         --partial-out "$scratch/partial.json" \
+         --status-out "$scratch/status.json" \
+         --manifest-out "$scratch/manifest.json" \
+         --max-seconds 120 &
+sched_pid=$!
+for _ in $(seq 100); do
+    [ -s "$scratch/port" ] && break
+    kill -0 "$sched_pid" 2>/dev/null || {
+        echo "scheduler died before binding" >&2; exit 1; }
+    sleep 0.1
+done
+url="http://127.0.0.1:$(cat "$scratch/port")"
+
+# w1 SIGKILLs itself right after taking its first lease; its unit must
+# be recovered. Expected to die by signal, so `if` guards set -e.
+if "$sweep" "${matrix[@]}" --pull "$url" --worker w1 \
+            --die-mid-unit 1 --heartbeat 0.5 2> "$scratch/w1.log"; then
+    echo "w1 should have been SIGKILLed" >&2
+    exit 1
+fi
+# w2 stalls 6s on every unit (>> 2 x median): a live straggler whose
+# units get speculatively re-dispatched. w3 is healthy and steals the
+# rest of the pool. Workers share the reference run's artifact cache.
+"$sweep" "${margs[@]}" --pull "$url" --worker w2 --heartbeat 0.5 \
+         --inject-slow-ms 6000 > "$scratch/w2.log" 2>&1 &
+"$sweep" "${margs[@]}" --pull "$url" --worker w3 --heartbeat 0.5 \
+         > "$scratch/w3.log" 2>&1 &
+wait "$sched_pid"
+wait
+
+echo "== merged document is byte-identical =="
+cmp "$scratch/single.json" "$scratch/sched.json"
+
+echo "== re-dispatch fired and documents validate =="
+python3 "$validate" --sched-status "$scratch/status.json" \
+        --partial "$scratch/partial.json" \
+        --store-manifest "$scratch/manifest.json" \
+        --results "$scratch/sched.json"
+python3 - "$scratch/status.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["completed"] == doc["units"] == 4, doc
+assert doc["redispatches"] >= 1, "straggler re-dispatch never fired"
+assert doc["leases_expired"] + doc["redispatches"] >= 2, \
+    "killed worker's unit was neither expired nor re-dispatched"
+EOF
+
+echo "== restart over the finished store resumes to done =="
+"$sched" "${matrix[@]}" --fragments-dir "$scratch/frags" \
+         --out "$scratch/resumed.json" --port 0 \
+         --port-file "$scratch/port2" --max-seconds 30 \
+         --status-out "$scratch/status2.json"
+cmp "$scratch/single.json" "$scratch/resumed.json"
+python3 - "$scratch/status2.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["completed"] == doc["units"] == 4, doc
+assert doc["leases_issued"] == 0, "resume dispatched work needlessly"
+EOF
+
+echo "sched smoke OK"

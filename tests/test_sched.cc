@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the sweep scheduler state machine, driven with synthetic
+ * time: work-stealing dispatch order, lease expiry after a worker
+ * dies, straggler re-dispatch and first-fragment-wins dedup, resume
+ * from pre-existing fragments, and byte-identity of the streaming
+ * merge against the shared single-process renderer.
+ */
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/sched.h"
+#include "bench/sweep.h"
+#include "common/json.h"
+#include "sim/config.h"
+
+namespace
+{
+
+using namespace tcsim;
+using namespace tcsim::bench;
+
+/** A small real matrix (2 benchmarks x 2 configs at tiny budgets). */
+std::vector<WorkUnit>
+testUnits()
+{
+    SweepOptions options;
+    options.benchmarks = {"compress", "li"};
+    options.insts = 20000;
+    options.configs = {sim::baselineConfig(), sim::promotionConfig(64)};
+    return enumerateUnits(options);
+}
+
+/** Deterministic fake per-unit integers (not a real simulation). */
+ResultIntegers
+fakeIntegers(std::uint32_t seed)
+{
+    ResultIntegers integers;
+    integers.instructions = 1000 + seed;
+    integers.cycles = 2000 + seed * 7;
+    integers.condBranches = 100 + seed;
+    integers.condMispredicts = seed;
+    integers.usefulFetches = 500 + seed;
+    integers.fetchedInsts = 600 + seed;
+    return integers;
+}
+
+SchedOptions
+fastOptions()
+{
+    SchedOptions options;
+    options.leaseTimeoutSeconds = 10.0;
+    options.stragglerK = 3.0;
+    options.minMedianSamples = 2;
+    return options;
+}
+
+TEST(Sched, WorkStealingHandsOutLowestPendingIndex)
+{
+    const auto units = testUnits();
+    ASSERT_EQ(units.size(), 4u);
+    Scheduler sched(units, fastOptions());
+    LeaseGrant g1, g2, g3;
+    EXPECT_EQ(sched.acquire("w1", 0.0, g1), AcquireStatus::Granted);
+    EXPECT_EQ(g1.unitIndex, 0u);
+    EXPECT_EQ(g1.hash, units[0].hash);
+    // A second worker steals from the shared pool, not a partition.
+    EXPECT_EQ(sched.acquire("w2", 0.0, g2), AcquireStatus::Granted);
+    EXPECT_EQ(g2.unitIndex, 1u);
+    EXPECT_EQ(sched.acquire("w1", 0.1, g3), AcquireStatus::Granted);
+    EXPECT_EQ(g3.unitIndex, 2u);
+    EXPECT_EQ(sched.leasesIssued(), 3u);
+    EXPECT_GT(g1.renewSeconds, 0.0);
+    EXPECT_LT(g1.renewSeconds, fastOptions().leaseTimeoutSeconds);
+}
+
+TEST(Sched, CompleteFoldsAndFinishes)
+{
+    const auto units = testUnits();
+    Scheduler sched(units, fastOptions());
+    double now = 0.0;
+    while (!sched.done()) {
+        LeaseGrant grant;
+        const AcquireStatus status = sched.acquire("w1", now, grant);
+        ASSERT_EQ(status, AcquireStatus::Granted);
+        now += 1.0;
+        EXPECT_EQ(sched.complete("w1", grant.hash,
+                                 fakeIntegers(grant.unitIndex), now),
+                  Scheduler::CompleteStatus::Accepted);
+    }
+    EXPECT_EQ(sched.completedUnits(), units.size());
+    LeaseGrant grant;
+    EXPECT_EQ(sched.acquire("w2", now, grant), AcquireStatus::Done);
+    EXPECT_EQ(sched.leasesExpired(), 0u);
+    EXPECT_EQ(sched.redispatches(), 0u);
+}
+
+TEST(Sched, StreamingMergeMatchesSharedRendererByteForByte)
+{
+    const auto units = testUnits();
+    Scheduler sched(units, fastOptions());
+    std::vector<ResultIntegers> integers(units.size());
+    std::vector<bool> filled(units.size(), true);
+    for (std::uint32_t i = 0; i < units.size(); ++i)
+        integers[i] = fakeIntegers(i);
+    // Deliver out of order: the fold must not depend on arrival order.
+    double now = 0.0;
+    for (const std::uint32_t i : {2u, 0u, 3u, 1u}) {
+        LeaseGrant grant;
+        sched.acquire("w1", now, grant);
+        ASSERT_EQ(sched.complete("w1", units[i].hash, integers[i],
+                                 now += 1.0),
+                  Scheduler::CompleteStatus::Accepted);
+    }
+    ASSERT_TRUE(sched.done());
+    EXPECT_EQ(sched.renderResults(), renderResultsDoc(units, integers));
+}
+
+TEST(Sched, LeaseExpiryReturnsUnitToPool)
+{
+    const auto units = testUnits();
+    Scheduler sched(units, fastOptions());
+    LeaseGrant grant;
+    ASSERT_EQ(sched.acquire("victim", 0.0, grant),
+              AcquireStatus::Granted);
+    EXPECT_EQ(grant.unitIndex, 0u);
+    // The worker dies; nothing renews. Before the timeout the unit is
+    // not handed out again (w2 gets the next index instead).
+    LeaseGrant other;
+    ASSERT_EQ(sched.acquire("w2", 5.0, other), AcquireStatus::Granted);
+    EXPECT_EQ(other.unitIndex, 1u);
+    // After the timeout the lease is revoked and unit 0 is pending
+    // again — the crashed worker's unit is re-dispatched.
+    sched.tick(10.5);
+    EXPECT_EQ(sched.leasesExpired(), 1u);
+    LeaseGrant retry;
+    ASSERT_EQ(sched.acquire("w2", 10.6, retry), AcquireStatus::Granted);
+    EXPECT_EQ(retry.unitIndex, 0u);
+    EXPECT_EQ(retry.hash, units[0].hash);
+}
+
+TEST(Sched, RenewKeepsSlowWorkerAlive)
+{
+    const auto units = testUnits();
+    Scheduler sched(units, fastOptions());
+    LeaseGrant grant;
+    ASSERT_EQ(sched.acquire("w1", 0.0, grant), AcquireStatus::Granted);
+    for (double t = 3.0; t <= 30.0; t += 3.0)
+        EXPECT_TRUE(sched.renew("w1", grant.hash, t));
+    sched.tick(31.0); // well past the original 10s deadline
+    EXPECT_EQ(sched.leasesExpired(), 0u);
+    // But renewing a lease that was never granted fails.
+    EXPECT_FALSE(sched.renew("w2", grant.hash, 31.0));
+    EXPECT_FALSE(sched.renew("w1", "0123456789abcdef", 31.0));
+}
+
+TEST(Sched, StragglerIsRedispatchedAndFirstFragmentWins)
+{
+    const auto units = testUnits();
+    Scheduler sched(units, fastOptions());
+    // w1 takes unit 0 and stalls; w2 completes the rest quickly,
+    // establishing a ~1s median.
+    LeaseGrant slow;
+    ASSERT_EQ(sched.acquire("w1", 0.0, slow), AcquireStatus::Granted);
+    double now = 0.0;
+    for (std::uint32_t i = 1; i < units.size(); ++i) {
+        LeaseGrant grant;
+        ASSERT_EQ(sched.acquire("w2", now, grant),
+                  AcquireStatus::Granted);
+        EXPECT_EQ(grant.unitIndex, i);
+        ASSERT_EQ(sched.complete("w2", grant.hash, fakeIntegers(i),
+                                 now += 1.0),
+                  Scheduler::CompleteStatus::Accepted);
+        sched.renew("w1", slow.hash, now); // w1 is slow, not dead
+    }
+    // No fresh units remain. Before k x median elapses w2 must wait...
+    LeaseGrant spec;
+    EXPECT_EQ(sched.acquire("w2", now, spec), AcquireStatus::Wait);
+    EXPECT_EQ(sched.redispatches(), 0u);
+    // ...and past it, unit 0 is speculatively re-dispatched to w2.
+    now = 10.0; // elapsed 10s > 3 x 1s median
+    sched.renew("w1", slow.hash, now);
+    ASSERT_EQ(sched.acquire("w2", now, spec), AcquireStatus::Granted);
+    EXPECT_EQ(spec.unitIndex, 0u);
+    EXPECT_EQ(spec.hash, slow.hash);
+    EXPECT_EQ(sched.redispatches(), 1u);
+    // The same unit is not handed out a third time.
+    LeaseGrant third;
+    EXPECT_EQ(sched.acquire("w3", now + 0.1, third),
+              AcquireStatus::Wait);
+    // w2's copy lands first and wins; w1's late duplicate is counted
+    // and dropped, and the sweep is done.
+    EXPECT_EQ(sched.complete("w2", spec.hash, fakeIntegers(0),
+                             now + 0.5),
+              Scheduler::CompleteStatus::Accepted);
+    EXPECT_EQ(sched.complete("w1", slow.hash, fakeIntegers(0),
+                             now + 2.0),
+              Scheduler::CompleteStatus::Duplicate);
+    EXPECT_EQ(sched.duplicates(), 1u);
+    EXPECT_TRUE(sched.done());
+    // The duplicate did not corrupt the merge.
+    std::vector<ResultIntegers> integers(units.size());
+    for (std::uint32_t i = 0; i < units.size(); ++i)
+        integers[i] = fakeIntegers(i);
+    EXPECT_EQ(sched.renderResults(), renderResultsDoc(units, integers));
+}
+
+TEST(Sched, CompleteAcceptedFromLeaselessWorker)
+{
+    // A worker whose lease expired while its fragment was in flight
+    // still delivers valid work.
+    const auto units = testUnits();
+    Scheduler sched(units, fastOptions());
+    LeaseGrant grant;
+    ASSERT_EQ(sched.acquire("w1", 0.0, grant), AcquireStatus::Granted);
+    sched.tick(20.0);
+    EXPECT_EQ(sched.leasesExpired(), 1u);
+    EXPECT_EQ(sched.complete("w1", grant.hash, fakeIntegers(0), 21.0),
+              Scheduler::CompleteStatus::Accepted);
+    EXPECT_EQ(sched.completedUnits(), 1u);
+}
+
+TEST(Sched, CompleteRejectsUnknownHash)
+{
+    Scheduler sched(testUnits(), fastOptions());
+    EXPECT_EQ(sched.complete("w1", "feedfacecafebeef", fakeIntegers(0),
+                             1.0),
+              Scheduler::CompleteStatus::Unknown);
+    EXPECT_EQ(sched.completedUnits(), 0u);
+}
+
+TEST(Sched, ResumeSkipsPrefilledUnits)
+{
+    const auto units = testUnits();
+    Scheduler sched(units, fastOptions());
+    EXPECT_TRUE(sched.markCompleted(units[0].hash, fakeIntegers(0)));
+    EXPECT_TRUE(sched.markCompleted(units[2].hash, fakeIntegers(2)));
+    EXPECT_FALSE(sched.markCompleted(units[0].hash, fakeIntegers(0)))
+        << "double prefill must be rejected";
+    EXPECT_FALSE(sched.markCompleted("feedfacecafebeef", {}));
+    // Only the holes are dispatched.
+    LeaseGrant g1, g2;
+    ASSERT_EQ(sched.acquire("w1", 0.0, g1), AcquireStatus::Granted);
+    EXPECT_EQ(g1.unitIndex, 1u);
+    ASSERT_EQ(sched.acquire("w1", 0.0, g2), AcquireStatus::Granted);
+    EXPECT_EQ(g2.unitIndex, 3u);
+    sched.complete("w1", g1.hash, fakeIntegers(1), 1.0);
+    sched.complete("w1", g2.hash, fakeIntegers(3), 2.0);
+    ASSERT_TRUE(sched.done());
+    std::vector<ResultIntegers> integers(units.size());
+    for (std::uint32_t i = 0; i < units.size(); ++i)
+        integers[i] = fakeIntegers(i);
+    EXPECT_EQ(sched.renderResults(), renderResultsDoc(units, integers));
+}
+
+TEST(Sched, PartialAndStatusDocumentsAreWellFormed)
+{
+    const auto units = testUnits();
+    Scheduler sched(units, fastOptions());
+    LeaseGrant grant;
+    sched.acquire("w1", 0.0, grant);
+    sched.complete("w1", grant.hash, fakeIntegers(0), 1.5);
+    sched.acquire("w1", 1.5, grant);
+
+    std::string error;
+    const auto partial = json::parse(sched.renderPartial(), &error);
+    ASSERT_TRUE(partial.has_value()) << error;
+    EXPECT_EQ(partial->getString("schema"), "tcsim-bench-partial-v1");
+    EXPECT_EQ(partial->getUint64("units"), units.size());
+    EXPECT_EQ(partial->getUint64("completed"), 1u);
+
+    const auto status = json::parse(sched.renderStatus(2.0), &error);
+    ASSERT_TRUE(status.has_value()) << error;
+    EXPECT_EQ(status->getString("schema"), "tcsim-sched-status-v1");
+    EXPECT_EQ(status->getString("matrix_hash"), matrixHash(units));
+    EXPECT_EQ(status->getUint64("units"), units.size());
+    EXPECT_EQ(status->getUint64("completed"), 1u);
+    EXPECT_EQ(status->getUint64("in_flight"), 1u);
+    EXPECT_EQ(status->getUint64("pending"), units.size() - 2);
+    const json::Value *workers = status->find("workers");
+    ASSERT_NE(workers, nullptr);
+    ASSERT_EQ(workers->items().size(), 1u);
+    EXPECT_EQ(workers->items()[0].getString("worker"), "w1");
+    EXPECT_EQ(workers->items()[0].getUint64("completed"), 1u);
+    EXPECT_EQ(workers->items()[0].getUint64("active_leases"), 1u);
+}
+
+} // namespace

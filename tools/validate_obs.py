@@ -506,6 +506,116 @@ def validate_farm_status(path):
     return True
 
 
+SCHED_WORKER_KEYS = {"worker": str, "active_leases": int,
+                     "completed": int}
+
+
+def validate_sched_status(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-sched-status-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    matrix_hash = doc.get("matrix_hash")
+    if not isinstance(matrix_hash, str) or len(matrix_hash) != 16:
+        return fail(path, f"bad matrix_hash {matrix_hash!r}")
+    for key in ("units", "completed", "in_flight", "pending",
+                "leases_issued", "leases_expired", "redispatches",
+                "duplicates"):
+        if not isinstance(doc.get(key), int) or doc[key] < 0:
+            return fail(path, f"{key}={doc.get(key)!r} not a count")
+    for key in ("median_unit_seconds", "longest_in_flight_seconds"):
+        if not isinstance(doc.get(key), (int, float)):
+            return fail(path, f"{key}={doc.get(key)!r} not a number")
+    if doc["completed"] + doc["in_flight"] + doc["pending"] != doc["units"]:
+        return fail(path, "completed + in_flight + pending != units")
+    if doc["leases_issued"] < doc["redispatches"]:
+        return fail(path, "more redispatches than leases")
+    workers = doc.get("workers")
+    if not isinstance(workers, list):
+        return fail(path, "workers not an array")
+    for i, worker in enumerate(workers):
+        if set(worker) != set(SCHED_WORKER_KEYS):
+            diff = set(SCHED_WORKER_KEYS).symmetric_difference(worker)
+            return fail(path, f"worker {i}: keys differ: {sorted(diff)}")
+        for key, kind in SCHED_WORKER_KEYS.items():
+            if not isinstance(worker[key], kind):
+                return fail(path, f"worker {i}: {key}={worker[key]!r}")
+    done = sum(w["completed"] for w in workers)
+    if done > doc["completed"]:
+        return fail(path, f"workers completed {done} > {doc['completed']}")
+    print(f"validate_obs: {path}: OK ({doc['completed']}/{doc['units']} "
+          f"units, {doc['redispatches']} redispatches, "
+          f"{len(workers)} workers)")
+    return True
+
+
+def validate_store_manifest(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-store-manifest-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    for key in ("store", "prefix"):
+        if not isinstance(doc.get(key), str):
+            return fail(path, f"{key}={doc.get(key)!r} not a string")
+    objects = doc.get("objects")
+    if not isinstance(objects, list):
+        return fail(path, "objects not an array")
+    names = []
+    for i, obj in enumerate(objects):
+        if set(obj) != {"name", "size", "age_seconds"}:
+            return fail(path, f"object {i}: keys {sorted(obj)}")
+        if not isinstance(obj["name"], str) or not obj["name"]:
+            return fail(path, f"object {i}: bad name {obj['name']!r}")
+        if not isinstance(obj["size"], int) or obj["size"] < 0:
+            return fail(path, f"object {i}: bad size {obj['size']!r}")
+        if not isinstance(obj["age_seconds"], (int, float)):
+            return fail(path, f"object {i}: bad age")
+        names.append(obj["name"])
+    if names != sorted(names):
+        return fail(path, "objects not sorted by name")
+    print(f"validate_obs: {path}: OK ({len(objects)} objects in "
+          f"{doc['store']})")
+    return True
+
+
+def validate_partial(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            return fail(path, f"invalid JSON: {err}")
+    if doc.get("schema") != "tcsim-bench-partial-v1":
+        return fail(path, f"bad schema {doc.get('schema')!r}")
+    matrix_hash = doc.get("matrix_hash")
+    if not isinstance(matrix_hash, str) or len(matrix_hash) != 16:
+        return fail(path, f"bad matrix_hash {matrix_hash!r}")
+    results = doc.get("results")
+    if not isinstance(results, list):
+        return fail(path, "missing results array")
+    if doc.get("completed") != len(results):
+        return fail(path,
+                    f"completed {doc.get('completed')!r} != {len(results)}")
+    if not isinstance(doc.get("units"), int) or \
+            doc["completed"] > doc["units"]:
+        return fail(path, "completed > units")
+    seen = set()
+    for i, record in enumerate(results):
+        if not check_result_record(path, f"result {i}", record):
+            return False
+        if record["hash"] in seen:
+            return fail(path, f"result {i}: duplicate unit {record['hash']}")
+        seen.add(record["hash"])
+    print(f"validate_obs: {path}: OK (partial {doc['completed']}/"
+          f"{doc['units']})")
+    return True
+
+
 def check_metric_delta(path, where, metric):
     if not isinstance(metric, dict) or set(metric) != {
             "name", "baseline", "current", "rel_delta", "regressed"}:
@@ -577,11 +687,15 @@ def main():
     parser.add_argument("--heartbeat", action="append", default=[])
     parser.add_argument("--farm-status", action="append", default=[])
     parser.add_argument("--regression", action="append", default=[])
+    parser.add_argument("--sched-status", action="append", default=[])
+    parser.add_argument("--store-manifest", action="append", default=[])
+    parser.add_argument("--partial", action="append", default=[])
     args = parser.parse_args()
     if not (args.trace_jsonl or args.chrome or args.intervals
             or args.fragment or args.results or args.bbv
             or args.simpoints or args.error_report or args.heartbeat
-            or args.farm_status or args.regression):
+            or args.farm_status or args.regression or args.sched_status
+            or args.store_manifest or args.partial):
         parser.error("nothing to validate")
     ok = True
     for path in args.trace_jsonl:
@@ -606,6 +720,12 @@ def main():
         ok &= validate_farm_status(path)
     for path in args.regression:
         ok &= validate_regression(path)
+    for path in args.sched_status:
+        ok &= validate_sched_status(path)
+    for path in args.store_manifest:
+        ok &= validate_store_manifest(path)
+    for path in args.partial:
+        ok &= validate_partial(path)
     return 0 if ok else 1
 
 
