@@ -383,6 +383,8 @@ shortName(const std::string &benchmark)
         {"vortex", "vor"},        {"gnuchess", "ch"},
         {"ghostscript", "gs"},    {"gnuplot", "plot"},
         {"python", "py"},         {"sim-outorder", "ss"},
+        {"server-oltp", "oltp"},  {"server-web", "web"},
+        {"server-cache", "kvc"},
     };
     const auto it = shorts.find(benchmark);
     return it != shorts.end() ? it->second : benchmark;

@@ -10,6 +10,8 @@
 #include <sstream>
 #include <string_view>
 
+#include <unistd.h>
+
 #include "bench/artifact_cache.h"
 #include "bench/harness.h"
 #include "common/fnv.h"
@@ -19,6 +21,7 @@
 #include "sample/simpoints.h"
 #include "sim/processor.h"
 #include "workload/archstate.h"
+#include "workload/btrace.h"
 #include "workload/generator.h"
 #include "workload/profile.h"
 
@@ -357,6 +360,18 @@ bbvArtifactKey(const std::string &benchmark, std::uint64_t insts,
     return key;
 }
 
+std::string
+btraceArtifactKey(const std::string &benchmark, std::uint64_t insts)
+{
+    std::string key = "btrace:v";
+    key += std::to_string(workload::kBtraceFormatVersion);
+    key += ':';
+    key += programKeyPrefix(benchmark);
+    key += ":insts=";
+    key += std::to_string(insts);
+    return key;
+}
+
 std::vector<sim::ProcessorConfig>
 defaultSweepConfigs()
 {
@@ -454,6 +469,13 @@ enumerateUnits(const SweepOptions &options)
             }
             unit.warmup = options.warmup;
             unit.sampled = options.sampled;
+            unit.replay = options.replay;
+            if (unit.replay &&
+                (unit.sampled.enabled || unit.warmup != 0)) {
+                fatal("replay sweep: --replay is a front-end analysis "
+                      "pass and cannot combine with --warmup or "
+                      "sampled execution");
+            }
             unit.id = benchmark + "@" + config.name + "@" +
                       std::to_string(unit.insts);
             if (unit.sampled.enabled) {
@@ -471,6 +493,8 @@ enumerateUnits(const SweepOptions &options)
                            std::to_string(unit.sampled.maxK) + "-w" +
                            std::to_string(unit.warmup);
             }
+            if (unit.replay)
+                unit.id += "@replay";
             std::uint64_t hash = fnv1a(unit.id);
             hash = fnv1aAppendScalar(hash, workload::kGeneratorVersion);
             hash = fnv1aAppendScalar(
@@ -489,6 +513,13 @@ enumerateUnits(const SweepOptions &options)
                 hash = fnv1aAppendScalar(hash, sample::kSimpointSeed);
                 hash = fnv1aAppendScalar(
                     hash, sample::kSampledWarmingVersion);
+            }
+            if (unit.replay) {
+                // Replay results depend on the trace encoding; hash
+                // the format version so fragments from an older
+                // btrace layout regenerate instead of merging.
+                hash = fnv1aAppendScalar(hash,
+                                         workload::kBtraceFormatVersion);
             }
             unit.hash = hashHex(hash);
             units.push_back(std::move(unit));
@@ -770,11 +801,97 @@ executeSampledUnit(const WorkUnit &unit)
     return combined;
 }
 
+/**
+ * Record the config-independent control-flow trace for a benchmark:
+ * one oracle pass through Processor::recordTrace into a temporary
+ * file, whose bytes become the cacheable artifact payload. The trace
+ * records only oracle facts (pc, target, class, taken), so the
+ * recording processor's configuration cannot influence the bytes; a
+ * fixed canonical config keeps that invariance explicit. Deterministic
+ * — same program + budget always produces the same image — so it is
+ * safe to memoize through the artifact cache and share across shards.
+ */
+std::string
+recordBtraceBytes(const std::string &benchmark, std::uint64_t insts)
+{
+    const workload::Program &program = programFor(benchmark);
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile(benchmark);
+    const std::string tmp =
+        (std::filesystem::temp_directory_path() /
+         ("tcsim-btrace-" + std::to_string(::getpid()) + "-" +
+          hashHex(fnv1a(btraceArtifactKey(benchmark, insts))) + ".tmp"))
+            .string();
+    {
+        workload::BtraceWriter writer(tmp, workload::kGeneratorVersion,
+                                      workload::profileFingerprint(profile),
+                                      program.entry());
+        sim::Processor recorder(sim::icacheConfig(), program);
+        recorder.recordTrace(writer, insts);
+    }
+    std::ifstream in(tmp, std::ios::binary);
+    if (!in)
+        fatal("cannot read back recorded btrace '%s'", tmp.c_str());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    return std::move(buf).str();
+}
+
+/**
+ * The replay pipeline for one unit: fetch (or record) the benchmark's
+ * btrace artifact, then drive this config's front end from it via
+ * Processor::replayTrace. Only front-end counters are meaningful;
+ * cycles and the fetch/timing stats stay zero (derived rates over a
+ * zero denominator render as 0 in the canonical documents).
+ */
+ResultIntegers
+executeReplayUnit(const WorkUnit &unit)
+{
+    TCSIM_ASSERT(unit.replay);
+    const std::string bytes = ArtifactCache::process().getOrCreate(
+        "btrace", btraceArtifactKey(unit.benchmark, unit.insts),
+        [&] { return recordBtraceBytes(unit.benchmark, unit.insts); });
+
+    workload::BtraceReader reader;
+    std::string error;
+    if (!reader.openBytes(bytes, &error)) {
+        fatal("btrace artifact for %s is invalid: %s", unit.id.c_str(),
+              error.c_str());
+    }
+    const workload::BenchmarkProfile &profile =
+        workload::findProfile(unit.benchmark);
+    if (reader.header().generatorVersion != workload::kGeneratorVersion ||
+        reader.header().profileFingerprint !=
+            workload::profileFingerprint(profile)) {
+        fatal("btrace artifact for %s was recorded from a different "
+              "program (stale cache entry?)",
+              unit.id.c_str());
+    }
+
+    const workload::Program &program = programFor(unit.benchmark);
+    sim::Processor proc(unit.config, program);
+    const sim::Processor::ControlFlowResult r = proc.replayTrace(reader);
+
+    ResultIntegers n;
+    n.instructions = r.instructions;
+    n.condBranches = r.condBranches;
+    n.condMispredicts = r.condMispredicts;
+    n.indirectMispredicts = r.indirectMispredicts;
+    n.tcLookups = r.tcLookups;
+    n.tcHits = r.tcHits;
+    n.icacheMisses = r.icacheMisses;
+    return n;
+}
+
 } // namespace
 
 ResultIntegers
 executeUnitIntegers(const WorkUnit &unit)
 {
+    if (unit.replay)
+        return executeReplayUnit(unit);
     if (unit.sampled.enabled)
         return executeSampledUnit(unit);
     return integersOf(executeUnit(unit));
@@ -1173,28 +1290,24 @@ scanFarm(const SweepOptions &options, FragmentStore &store)
             scan.workers.push_back(std::move(observed));
             continue;
         }
-        // Fragment: only the unit hash and the timing section matter
-        // here; the merge layer does the full validation later.
-        const std::optional<json::Value> doc = json::parse(*bytes);
-        if (!doc || !doc->isObject() ||
-            doc->getString("schema") != "tcsim-bench-fragment-v1") {
+        // Fragment: apply the SAME strict validity predicate the
+        // merge layer uses (schema, unit object, full result record,
+        // name stem == claimed hash). A truncated-mid-record fragment
+        // can still be valid JSON; counting it completed here while
+        // --check/--merge reject it would wedge a resumed scheduler
+        // on a unit no worker is ever re-dispatched for.
+        FragmentData data;
+        if (!parseFragmentBytes(*bytes, data))
             continue;
-        }
-        const json::Value *unit_obj = doc->find("unit");
-        if (unit_obj == nullptr || !unit_obj->isObject())
-            continue;
-        const std::string hash = unit_obj->getString("hash");
-        const auto wanted = by_hash.find(hash);
+        const auto wanted = by_hash.find(data.hash);
         if (wanted == by_hash.end() ||
-            name.substr(0, name.size() - 5) != hash) {
+            name.substr(0, name.size() - 5) != data.hash) {
             continue;
         }
         CompletedUnit completed;
         completed.id = wanted->second->id;
-        completed.hash = hash;
-        const json::Value *timing = doc->find("timing");
-        if (timing != nullptr && timing->isObject())
-            completed.wallSeconds = timing->getDouble("wall_seconds");
+        completed.hash = data.hash;
+        completed.wallSeconds = data.timing.wallSeconds;
         scan.completed.push_back(std::move(completed));
     }
     return scan;

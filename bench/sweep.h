@@ -80,8 +80,12 @@ struct WorkUnit
     std::uint64_t insts = 0;  ///< resolved measurement budget
     std::uint64_t warmup = 0; ///< predictor warm-up instructions
     SampledParams sampled;    ///< sampled-execution dimension
+    /** Replay the front end from a cached tcsim-btrace-v1 artifact
+     * instead of cycle-simulating (timing stats stay zero). */
+    bool replay = false;
     /** "<benchmark>@<config>@<insts>", plus
-     * "@sampled-i<interval>-k<maxK>-w<warmup>" when sampled. */
+     * "@sampled-i<interval>-k<maxK>-w<warmup>" when sampled, plus
+     * "@replay" when replaying from a btrace artifact. */
     std::string id;
     std::string hash; ///< 16-hex content hash (see file comment)
 };
@@ -99,6 +103,16 @@ struct SweepOptions
     std::uint64_t warmup = 0;
     /** Sampled-execution dimension applied to every unit. */
     SampledParams sampled;
+    /**
+     * Replay dimension applied to every unit: drive the front end
+     * (fetch engine, fill unit, predictors) from a recorded
+     * tcsim-btrace-v1 control-flow trace instead of cycle simulation.
+     * The trace is config-independent and flows through the artifact
+     * cache ("btrace" kind, see btraceArtifactKey), so one recording
+     * pass serves every configuration in the matrix. Mutually
+     * exclusive with warmup and sampled execution.
+     */
+    bool replay = false;
     /**
      * Per-unit instruction-budget overrides: selector -> insts, where
      * a selector is "benchmark" (every config of that benchmark) or
@@ -184,6 +198,16 @@ sim::SimResult executeUnit(const WorkUnit &unit);
  */
 std::string bbvArtifactKey(const std::string &benchmark,
                            std::uint64_t insts, std::uint64_t interval);
+
+/**
+ * @return the content key a benchmark's recorded btrace artifact is
+ * cached under (config-independent: btrace format version + generator
+ * version + profile fingerprint + budget — the oracle control-flow
+ * stream does not depend on the processor configuration, so one
+ * recording serves every config in a replay matrix).
+ */
+std::string btraceArtifactKey(const std::string &benchmark,
+                              std::uint64_t insts);
 
 /**
  * Simulate one unit — full or sampled — and return the canonical

@@ -107,14 +107,32 @@ Cache::probe(Addr addr) const
 }
 
 void
-Cache::flush()
+Cache::flush(Cycle now)
 {
-    for (Line &line : lines_) {
+    for (std::size_t i = 0; i < lines_.size(); ++i) {
+        Line &line = lines_[i];
         if (line.valid && line.dirty) {
             ++writebacks_;
             TCSIM_TPOINT(tracer_, Mem, "flush_writeback",
                          "%s victim_tag=0x%llx", params_.name.c_str(),
                          static_cast<unsigned long long>(line.tag));
+            if (params_.writebackToNext) {
+                // Mirror the eviction path in access(): the victim's
+                // data must reach the next level (or memory), and the
+                // cost lands in writebackCycles_ exactly once — the
+                // line is invalidated below, so a later flush cannot
+                // charge it again.
+                const std::uint32_t set =
+                    static_cast<std::uint32_t>(i / params_.assoc);
+                const Addr victim_addr = addrOfLine(line.tag, set);
+                std::uint32_t wb_cost = 0;
+                if (next_ != nullptr)
+                    wb_cost = next_->access(victim_addr, true, now);
+                else if (dram_ != nullptr)
+                    wb_cost = dram_->access(victim_addr, true,
+                                            params_.lineBytes, now);
+                writebackCycles_ += wb_cost;
+            }
         }
         line = Line{};
     }

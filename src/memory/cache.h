@@ -80,9 +80,16 @@ class Cache
     /** @return true if the line containing @p addr is resident. */
     bool probe(Addr addr) const;
 
-    /** Invalidate all lines, counting (and tracing) a writeback for
-     * every dirty valid line dropped. */
-    void flush();
+    /**
+     * Invalidate all lines, counting (and tracing) a writeback for
+     * every dirty valid line dropped. With writebackToNext set the
+     * victims' data is actually issued below — to the next level, or
+     * to the backing Dram at @p now so flush traffic queues on the
+     * contended bus like any other writeback — and the cost lands in
+     * writebackCycles() exactly once per dirty line (a line is clean
+     * once flushed, so a second flush adds nothing).
+     */
+    void flush(Cycle now = 0);
 
     /** @return the line size in bytes. */
     std::uint32_t lineBytes() const { return params_.lineBytes; }

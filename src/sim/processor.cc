@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "common/binio.h"
+#include "common/fnv.h"
 #include "common/log.h"
 #include "core/rename_overlay.h"
 
@@ -1985,6 +1986,220 @@ Processor::functionalWarmup(std::uint64_t until)
     statBaseInsts_ = retiredInsts_;
     if (intervals_ != nullptr)
         intervalNextAt_ = intervals_->nextBoundaryAfter(retiredInsts_);
+}
+
+namespace
+{
+
+workload::BtraceClass
+btraceClassOf(Opcode op)
+{
+    if (isa::isCondBranch(op))
+        return workload::BtraceClass::Cond;
+    if (isa::isCall(op))
+        return workload::BtraceClass::Call;
+    if (isa::isReturn(op))
+        return workload::BtraceClass::Ret;
+    if (isa::isIndirectJump(op))
+        return workload::BtraceClass::IndirectJump;
+    if (op == Opcode::Trap)
+        return workload::BtraceClass::Trap;
+    if (op == Opcode::Halt)
+        return workload::BtraceClass::Halt;
+    return workload::BtraceClass::Jump;
+}
+
+} // namespace
+
+Processor::ControlFlowResult
+Processor::controlFlowPass(
+    const std::function<bool(workload::StepResult &)> &source,
+    Addr start_pc, workload::BtraceWriter *writer)
+{
+    TCSIM_ASSERT(cycle_ == 0 && robOrder_.empty() && oracleCount_ == 0,
+                 "control-flow passes require a pre-run processor");
+
+    ControlFlowResult result;
+    result.outcomeHash = kFnvOffsetBasis;
+
+    // Leader handling mirrors functionalWarmup(): the multi-branch
+    // predictor trains at (fetch-group leader, history-at-leader), and
+    // each new leader costs one trace-cache lookup — the fetch-rate /
+    // miss-rate signal the replay stats report.
+    Addr leader = start_pc;
+    std::uint64_t leader_hist = archHistory_;
+    bool leader_pending = true;
+
+    workload::StepResult step;
+    while (source(step)) {
+        const Opcode op = step.inst.op;
+        if (leader_pending) {
+            if (traceCache_ != nullptr)
+                traceCache_->lookup(leader);
+            leader_pending = false;
+        }
+        hierarchy_.icache().access(step.pc, false, cycle_);
+        ++result.instructions;
+
+        if (isa::isCondBranch(op)) {
+            ++result.condBranches;
+            if (mbp_ != nullptr) {
+                bpred::MbpCtx ctx;
+                ctx.fetchAddr = leader;
+                ctx.history = leader_hist;
+                ctx.position = 0;
+                ctx.path = 0;
+                ctx.prediction = mbp_->predict(leader, leader_hist, 0, 0);
+                if (ctx.prediction != step.taken)
+                    ++result.condMispredicts;
+                mbp_->update(ctx, step.taken);
+            }
+            if (hybrid_ != nullptr) {
+                const bpred::HybridCtx ctx =
+                    hybrid_->predict(step.pc, archHistory_);
+                if (ctx.prediction != step.taken)
+                    ++result.condMispredicts;
+                hybrid_->update(step.pc, ctx, step.taken);
+            }
+            archHistory_ = (archHistory_ << 1) |
+                           static_cast<std::uint64_t>(step.taken);
+        } else if (isa::isCall(op)) {
+            archRas_.push_back(step.pc + isa::kInstBytes);
+        } else if (isa::isReturn(op)) {
+            ++result.returns;
+            if (archRas_.empty() || archRas_.back() != step.nextPc)
+                ++result.returnMispredicts;
+            if (!archRas_.empty())
+                archRas_.pop_back();
+        } else if (isa::isIndirectJump(op)) {
+            ++result.indirectJumps;
+            if (frontEnd_.indirect.predict(step.pc) != step.nextPc)
+                ++result.indirectMispredicts;
+            frontEnd_.indirect.update(step.pc, step.nextPc);
+        } else if (op == Opcode::Trap) {
+            ++result.traps;
+        }
+
+        if (isa::isControl(op)) {
+            ++result.records;
+            result.outcomeHash =
+                fnv1aAppendScalar(result.outcomeHash, step.pc);
+            result.outcomeHash =
+                fnv1aAppendScalar(result.outcomeHash, step.nextPc);
+            result.outcomeHash = fnv1aAppendScalar(
+                result.outcomeHash,
+                static_cast<std::uint8_t>(step.taken ? 1 : 0));
+            if (writer != nullptr) {
+                workload::BtraceRecord record;
+                record.pc = step.pc;
+                record.target = step.nextPc;
+                record.cls = btraceClassOf(op);
+                record.taken = step.taken;
+                writer->append(record);
+            }
+        }
+
+        if (fillUnit_ != nullptr) {
+            trace::RetiredInst retired;
+            retired.inst = step.inst;
+            retired.pc = step.pc;
+            retired.taken = step.taken;
+            fillUnit_->retire(retired);
+        }
+
+        if (isa::isControl(op)) {
+            leader = step.nextPc;
+            leader_hist = archHistory_;
+            leader_pending = true;
+        }
+        if (step.halted) {
+            result.halted = true;
+            break;
+        }
+    }
+
+    result.finalHistory = archHistory_;
+    result.icacheAccesses = hierarchy_.icache().accesses();
+    result.icacheMisses = hierarchy_.icache().misses();
+    if (traceCache_ != nullptr) {
+        result.tcLookups = traceCache_->lookups();
+        result.tcHits = traceCache_->hits();
+    }
+    return result;
+}
+
+Processor::ControlFlowResult
+Processor::recordTrace(workload::BtraceWriter &writer,
+                       std::uint64_t max_insts)
+{
+    const auto source = [this,
+                         max_insts](workload::StepResult &out) -> bool {
+        if (oracle_->halted() || oracle_->instCount() >= max_insts)
+            return false;
+        out = oracle_->step();
+        return true;
+    };
+    const ControlFlowResult result =
+        controlFlowPass(source, oracle_->pc(), &writer);
+    writer.close(result.instructions);
+    return result;
+}
+
+Processor::ControlFlowResult
+Processor::replayTrace(const workload::BtraceReader &reader)
+{
+    const workload::BtraceHeader &header = reader.header();
+    Addr pc = header.entryPc;
+    std::uint64_t rec_idx = 0;
+    std::uint64_t covered = 0;
+    const auto source = [this, &reader, &header, &pc, &rec_idx,
+                         &covered](workload::StepResult &out) -> bool {
+        if (covered >= header.instCount)
+            return false;
+        if (!program_.isCode(pc)) {
+            fatal("btrace replay walked outside the program image at "
+                  "pc 0x%llx",
+                  static_cast<unsigned long long>(pc));
+        }
+        out.pc = pc;
+        out.inst = program_.fetch(pc);
+        const Opcode op = out.inst.op;
+        out.memAddr = kInvalidAddr;
+        out.halted = op == Opcode::Halt;
+        if (isa::isControl(op)) {
+            if (rec_idx >= reader.recordCount()) {
+                fatal("btrace ran out of records at pc 0x%llx "
+                      "(instCount says more follow)",
+                      static_cast<unsigned long long>(pc));
+            }
+            const workload::BtraceRecord record = reader.record(rec_idx);
+            ++rec_idx;
+            if (record.pc != pc) {
+                fatal("btrace divergence: walked to pc 0x%llx but the "
+                      "next record is for pc 0x%llx (record %llu)",
+                      static_cast<unsigned long long>(pc),
+                      static_cast<unsigned long long>(record.pc),
+                      static_cast<unsigned long long>(rec_idx - 1));
+            }
+            out.taken = record.taken;
+            out.nextPc = record.target;
+        } else {
+            out.taken = false;
+            out.nextPc = pc + isa::kInstBytes;
+        }
+        pc = out.nextPc;
+        ++covered;
+        return true;
+    };
+    const ControlFlowResult result =
+        controlFlowPass(source, header.entryPc, nullptr);
+    if (result.instructions != header.instCount && !result.halted) {
+        fatal("btrace replay covered %llu instructions but the header "
+              "promises %llu",
+              static_cast<unsigned long long>(result.instructions),
+              static_cast<unsigned long long>(header.instCount));
+    }
+    return result;
 }
 
 void

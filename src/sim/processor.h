@@ -35,6 +35,7 @@
 
 #include <array>
 #include <deque>
+#include <functional>
 #include <iosfwd>
 #include <utility>
 #include <memory>
@@ -54,6 +55,7 @@
 #include "trace/fill_unit.h"
 #include "trace/trace_cache.h"
 #include "workload/archstate.h"
+#include "workload/btrace.h"
 #include "workload/executor.h"
 #include "workload/program.h"
 
@@ -159,6 +161,58 @@ class Processor
     void functionalWarmup(std::uint64_t until);
 
     // ------------------------------------------------------------------
+    // Binary branch/fetch trace record and replay (tcsim-btrace-v1).
+    // ------------------------------------------------------------------
+
+    /**
+     * Front-end-visible outcome of one record or replay control-flow
+     * pass. The pass drives the icache, trace cache, fill unit and all
+     * predictors from the retired control-flow stream without
+     * simulating pipeline cycles, so record and replay of the same
+     * stream must agree on every field — outcomeHash (FNV-1a over each
+     * control transfer's pc/next-pc/direction) and finalHistory are
+     * the bit-identity witnesses for the branch-outcome stream and the
+     * predictor-visible history.
+     */
+    struct ControlFlowResult
+    {
+        std::uint64_t instructions = 0;    ///< dynamic insts covered
+        std::uint64_t records = 0;         ///< control-flow events
+        std::uint64_t condBranches = 0;
+        std::uint64_t condMispredicts = 0; ///< hybrid-predictor misses
+        std::uint64_t returns = 0;
+        std::uint64_t returnMispredicts = 0; ///< committed-RAS misses
+        std::uint64_t indirectJumps = 0;
+        std::uint64_t indirectMispredicts = 0;
+        std::uint64_t traps = 0;
+        std::uint64_t icacheAccesses = 0;
+        std::uint64_t icacheMisses = 0;
+        std::uint64_t tcLookups = 0; ///< one lookup per fetch leader
+        std::uint64_t tcHits = 0;
+        std::uint64_t outcomeHash = 0;
+        std::uint64_t finalHistory = 0;
+        bool halted = false;
+    };
+
+    /**
+     * Execute up to @p max_insts instructions through the oracle,
+     * appending every retired control-flow event to @p writer (which
+     * this finalizes via close()). Requires a pristine processor; the
+     * pass is terminal — discard the processor afterwards.
+     */
+    ControlFlowResult recordTrace(workload::BtraceWriter &writer,
+                                  std::uint64_t max_insts);
+
+    /**
+     * Drive the front end purely from @p reader: non-control
+     * instructions are walked from the program image, control
+     * transfers take their directions and targets from the trace.
+     * Fatal on any divergence between the walked pc and the next
+     * record's pc. Same pristine/terminal contract as recordTrace().
+     */
+    ControlFlowResult replayTrace(const workload::BtraceReader &reader);
+
+    // ------------------------------------------------------------------
     // Observability (all opt-in; null pointers keep the hot paths at
     // one predictable branch each and never change simulation state).
     // ------------------------------------------------------------------
@@ -231,6 +285,17 @@ class Processor
     void extendOracle(std::uint64_t upto_idx);
     const workload::StepResult &oracleAt(std::uint64_t idx);
     void growOracleRing();
+
+    /**
+     * Shared record/replay loop: @p source yields successive retired
+     * steps (false = exhausted), @p start_pc is the first fetch
+     * leader, @p writer (optional) receives one record per control
+     * instruction. Both drivers share this body so their component
+     * updates cannot drift apart.
+     */
+    ControlFlowResult
+    controlFlowPass(const std::function<bool(workload::StepResult &)> &source,
+                    Addr start_pc, workload::BtraceWriter *writer);
 
     // ------------------------------------------------------------------
     // Pipeline stages (called youngest-last each cycle).

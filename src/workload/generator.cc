@@ -65,7 +65,8 @@ class Generator
 {
   public:
     explicit Generator(const BenchmarkProfile &profile)
-        : prof_(profile), rng_(profile.seed), builder_(profile.name)
+        : prof_(profile), server_(isServerProfile(profile)),
+          rng_(profile.seed), builder_(profile.name)
     {
     }
 
@@ -98,6 +99,9 @@ class Generator
 
     void emitMain();
     void emitDispatcher(unsigned band);
+    void emitServerDispatchLoop(unsigned band, unsigned lo, unsigned hi);
+    void emitChainFunctions(unsigned band);
+    void emitServerPadding();
     void emitFunction(unsigned idx);
     void emitStatements(Ctx &ctx, unsigned count);
     void emitStatement(Ctx &ctx);
@@ -117,10 +121,19 @@ class Generator
     BiasKind pickBiasKind();
 
     const BenchmarkProfile &prof_;
+    /**
+     * Server-extension gate. Every rng_ draw determines all downstream
+     * bytes, so server-only emission (and its draws) must be fully
+     * gated: when this is false the generator takes exactly the legacy
+     * paths and legacy programs stay byte-identical (kGeneratorVersion
+     * does not move).
+     */
+    const bool server_;
     Rng rng_;
     ProgramBuilder builder_;
     std::vector<FuncInfo> funcs_;      // work functions
     std::vector<Label> dispatchers_;
+    std::vector<std::vector<Label>> chainLabels_; // [band][chain depth]
     Addr rndRegionBase_ = 0;
     unsigned rndRegionMask_ = 0; // word-index mask
     unsigned accRoundRobin_ = 0;
@@ -166,12 +179,24 @@ Generator::run()
     dispatchers_.reserve(num_bands);
     for (unsigned d = 0; d < num_bands; ++d)
         dispatchers_.push_back(builder_.newLabel());
+    if (server_ && prof_.serverCallChainDepth > 0) {
+        chainLabels_.resize(num_bands);
+        for (unsigned d = 0; d < num_bands; ++d) {
+            chainLabels_[d].resize(prof_.serverCallChainDepth);
+            for (Label &label : chainLabels_[d])
+                label = builder_.newLabel();
+        }
+    }
 
     emitMain();
     for (unsigned d = 0; d < num_bands; ++d)
         emitDispatcher(d);
     for (unsigned i = 0; i < prof_.numFunctions; ++i)
         emitFunction(i);
+    if (server_ && prof_.serverCallChainDepth > 0) {
+        for (unsigned d = 0; d < num_bands; ++d)
+            emitChainFunctions(d);
+    }
 
     return builder_.build();
 }
@@ -215,6 +240,15 @@ Generator::emitDispatcher(unsigned band)
     const unsigned lo = band * kBandSize;
     const unsigned hi =
         std::min<unsigned>(lo + kBandSize, prof_.numFunctions);
+    if (server_) {
+        // Server request handling: walk the band's deep helper chain
+        // (RAS pressure), then demultiplex "requests" through an
+        // indirect dispatch loop before the per-function sweep.
+        if (prof_.serverCallChainDepth > 0)
+            builder_.call(chainLabels_[band][0]);
+        if (prof_.serverDispatchCases > 0 && prof_.serverDispatchTrip > 0)
+            emitServerDispatchLoop(band, lo, hi);
+    }
     for (unsigned f = lo; f < hi; ++f) {
         Ctx glue;
         glue.funcIdx = f;
@@ -253,6 +287,91 @@ Generator::emitDispatcher(unsigned band)
     builder_.ld(kCnt0, 8, kSp);
     builder_.addi(kSp, kSp, 32);
     builder_.ret();
+}
+
+void
+Generator::emitServerDispatchLoop(unsigned band, unsigned lo, unsigned hi)
+{
+    // Round the case count down to a power of two so the selector is a
+    // plain mask of LCG bits.
+    unsigned cases = 2;
+    while (cases * 2 <= prof_.serverDispatchCases && cases < 256)
+        cases *= 2;
+    const Addr table = builder_.allocData(cases * 8);
+
+    // Unlike emitSwitch's skewed opcode tables, server request demux
+    // has no hot case: targets are uniform, which is exactly what
+    // defeats a last-target indirect predictor.
+    std::vector<Label> case_labels(cases);
+    for (unsigned c = 0; c < cases; ++c)
+        case_labels[c] = builder_.newLabel();
+    for (unsigned e = 0; e < cases; ++e)
+        builder_.setDataLabel(table + Addr{e} * 8, case_labels[e]);
+
+    const unsigned shift = 7 + (band % 5) * 3;
+    builder_.addi(kCnt0, isa::kRegZero,
+                  static_cast<std::int32_t>(prof_.serverDispatchTrip));
+    Label latch = builder_.here();
+    builder_.srli(kSw0, kRx, static_cast<std::int32_t>(shift));
+    builder_.andi(kSw0, kSw0, static_cast<std::int32_t>(cases - 1));
+    builder_.slli(kSw0, kSw0, 3);
+    builder_.loadImm64(kSw1, table);
+    builder_.add(kSw0, kSw0, kSw1);
+    builder_.ld(kSw0, 0, kSw0);
+    builder_.jr(kSw0);
+
+    Label check = builder_.newLabel();
+    Ctx glue;
+    glue.funcIdx = lo;
+    for (unsigned c = 0; c < cases; ++c) {
+        builder_.bind(case_labels[c]);
+        const unsigned n = 1 + static_cast<unsigned>(rng_.below(2));
+        for (unsigned i = 0; i < n; ++i)
+            emitPayloadInst(glue);
+        const unsigned target = lo + c % std::max(1u, hi - lo);
+        builder_.addi(kArg, isa::kRegZero,
+                      static_cast<std::int32_t>(rng_.below(256)));
+        builder_.call(funcs_[target].entry);
+        builder_.j(check);
+    }
+    builder_.bind(check);
+    // Fresh LCG state per iteration so successive jr targets differ.
+    emitLcgUpdate();
+    builder_.addi(kCnt0, kCnt0, -1);
+    builder_.bne(kCnt0, isa::kRegZero, latch);
+}
+
+void
+Generator::emitChainFunctions(unsigned band)
+{
+    const unsigned depth = prof_.serverCallChainDepth;
+    Ctx glue;
+    glue.funcIdx = band * kBandSize;
+    for (unsigned k = 0; k < depth; ++k) {
+        builder_.bind(chainLabels_[band][k]);
+        builder_.addi(kSp, kSp, -16);
+        builder_.st(kRa, 0, kSp);
+        const unsigned n = 1 + static_cast<unsigned>(rng_.below(3));
+        for (unsigned i = 0; i < n; ++i)
+            emitPayloadInst(glue);
+        if (k + 1 < depth)
+            builder_.call(chainLabels_[band][k + 1]);
+        builder_.ld(kRa, 0, kSp);
+        builder_.addi(kSp, kSp, 16);
+        builder_.ret();
+        emitServerPadding();
+    }
+}
+
+void
+Generator::emitServerPadding()
+{
+    // Dead code past the tail: never reached (nothing branches here),
+    // it only pushes the next live region further away so the live
+    // footprint spans more icache-hostile address space.
+    Ctx dead;
+    for (unsigned i = 0; i < prof_.serverCodePaddingInsts; ++i)
+        emitPayloadInst(dead);
 }
 
 unsigned
@@ -319,6 +438,8 @@ Generator::emitFunction(unsigned idx)
             emitPayloadInst(ctx);
         builder_.j(join_label);
     }
+    if (server_ && prof_.serverCodePaddingInsts > 0)
+        emitServerPadding();
 }
 
 void

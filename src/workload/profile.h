@@ -102,12 +102,55 @@ struct BenchmarkProfile
     double randomAccessFrac = 0.15;
 
     // ------------------------------------------------------------------
+    // Server-class extensions (Micro BTB-style front ends). All-zero
+    // means "classic profile": the generator takes exactly the legacy
+    // code paths and profileFingerprint() hashes exactly the legacy
+    // field list, so every pre-existing fingerprint, unit hash and
+    // golden stays byte-identical. Any non-zero field switches the
+    // server code paths on and appends a tagged "server-ext-v1" block
+    // to the fingerprint.
+    // ------------------------------------------------------------------
+
+    /**
+     * Depth of the per-band helper call chains (chain_0 calls chain_1
+     * calls ... chain_{depth-1}); stresses the RAS and spreads live
+     * code across many icache-unfriendly regions.
+     */
+    unsigned serverCallChainDepth = 0;
+
+    /**
+     * Cases in each band dispatcher's indirect (jr-through-table)
+     * dispatch loop; models request-type demultiplexing.
+     */
+    unsigned serverDispatchCases = 0;
+
+    /** Iterations of that dispatch loop per dispatcher invocation. */
+    unsigned serverDispatchTrip = 0;
+
+    /**
+     * Dead tail-padding instructions appended after each function's
+     * cold blocks; inflates the static footprint without changing the
+     * dynamic instruction stream shape (multi-MB-footprint knob).
+     */
+    unsigned serverCodePaddingInsts = 0;
+
+    // ------------------------------------------------------------------
     // Experiment defaults.
     // ------------------------------------------------------------------
 
     /** Default dynamic instruction budget for experiments. */
     std::uint64_t defaultMaxInsts = 2'000'000;
 };
+
+/** @return whether any server extension field of @p profile is set. */
+inline bool
+isServerProfile(const BenchmarkProfile &profile)
+{
+    return profile.serverCallChainDepth != 0 ||
+           profile.serverDispatchCases != 0 ||
+           profile.serverDispatchTrip != 0 ||
+           profile.serverCodePaddingInsts != 0;
+}
 
 /**
  * @return a stable FNV-1a fingerprint over every generation-relevant
@@ -121,7 +164,19 @@ std::uint64_t profileFingerprint(const BenchmarkProfile &profile);
 /** @return the 15-benchmark suite mirroring the paper's Table 1. */
 const std::vector<BenchmarkProfile> &benchmarkSuite();
 
-/** @return the suite profile with the given name; fatal if absent. */
+/**
+ * @return the server-class profile set (huge code footprints, deep
+ * call chains, indirect-dispatch loops, elevated trap density). Kept
+ * separate from benchmarkSuite() so default sweep matrices, goldens
+ * and suite-size invariants are untouched; reachable by name through
+ * findProfile() and explicit --benchmarks lists.
+ */
+const std::vector<BenchmarkProfile> &serverSuite();
+
+/**
+ * @return the profile with the given name, searching the classic
+ * suite first and then the server suite; fatal if absent.
+ */
 const BenchmarkProfile &findProfile(const std::string &name);
 
 } // namespace tcsim::workload

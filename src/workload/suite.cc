@@ -297,6 +297,90 @@ makeSuite()
     return suite;
 }
 
+std::vector<BenchmarkProfile>
+makeServerSuite()
+{
+    std::vector<BenchmarkProfile> suite;
+
+    { // server-oltp: transaction dispatch, huge footprint, deep chains.
+        BenchmarkProfile p;
+        p.name = "server-oltp";
+        p.seed = 0x5E4501;
+        p.numFunctions = 640;
+        p.avgStatementsPerFunction = 10;
+        p.avgBlockSize = 2.4;
+        p.loopProb = 0.12;
+        p.ifProb = 0.40;
+        p.callProb = 0.27;
+        p.switchProb = 0.02;
+        p.trapProb = 0.004;
+        p.avgTripCount = 19.2;
+        p.highTripFrac = 0.06;
+        p.fracNeverTaken = 0.32;
+        p.fracStronglyBiased = 0.26;
+        p.fracModeratelyBiased = 0.22;
+        p.dataWorkingSetKB = 512;
+        p.randomAccessFrac = 0.30;
+        p.serverCallChainDepth = 12;
+        p.serverDispatchCases = 16;
+        p.serverDispatchTrip = 6;
+        p.serverCodePaddingInsts = 96;
+        suite.push_back(p);
+    }
+    { // server-web: request demux loops, moderate chains, trap-dense.
+        BenchmarkProfile p;
+        p.name = "server-web";
+        p.seed = 0x5E4502;
+        p.numFunctions = 480;
+        p.avgStatementsPerFunction = 9;
+        p.avgBlockSize = 2.8;
+        p.loopProb = 0.16;
+        p.ifProb = 0.38;
+        p.callProb = 0.24;
+        p.switchProb = 0.015;
+        p.trapProb = 0.006;
+        p.avgTripCount = 25.6;
+        p.highTripFrac = 0.08;
+        p.fracNeverTaken = 0.30;
+        p.fracStronglyBiased = 0.28;
+        p.fracModeratelyBiased = 0.22;
+        p.dataWorkingSetKB = 256;
+        p.randomAccessFrac = 0.25;
+        p.serverCallChainDepth = 8;
+        p.serverDispatchCases = 32;
+        p.serverDispatchTrip = 4;
+        p.serverCodePaddingInsts = 64;
+        suite.push_back(p);
+    }
+    { // server-cache: key-value hot loop behind a fat dispatch layer.
+        BenchmarkProfile p;
+        p.name = "server-cache";
+        p.seed = 0x5E4503;
+        p.numFunctions = 520;
+        p.avgStatementsPerFunction = 9;
+        p.avgBlockSize = 2.2;
+        p.loopProb = 0.14;
+        p.ifProb = 0.40;
+        p.callProb = 0.26;
+        p.switchProb = 0.025;
+        p.trapProb = 0.003;
+        p.avgTripCount = 16;
+        p.highTripFrac = 0.05;
+        p.fracNeverTaken = 0.34;
+        p.fracStronglyBiased = 0.26;
+        p.fracModeratelyBiased = 0.22;
+        p.dataWorkingSetKB = 384;
+        p.randomAccessFrac = 0.35;
+        p.serverCallChainDepth = 16;
+        p.serverDispatchCases = 8;
+        p.serverDispatchTrip = 8;
+        p.serverCodePaddingInsts = 128;
+        suite.push_back(p);
+    }
+
+    return suite;
+}
+
 } // namespace
 
 std::uint64_t
@@ -327,6 +411,17 @@ profileFingerprint(const BenchmarkProfile &profile)
     hash = fnv1aAppendScalar(hash, profile.dataWorkingSetKB);
     hash = fnv1aAppendScalar(hash, profile.randomAccessFrac);
     hash = fnv1aAppendScalar(hash, profile.defaultMaxInsts);
+    // Server extension fields join the hash only when one is set, under
+    // a version tag (same pattern as the "mem-ext-v1" config block):
+    // classic profiles keep their historical fingerprints bit-for-bit,
+    // so no cached artifact, unit hash or golden moves.
+    if (isServerProfile(profile)) {
+        hash = fnv1aAppend(hash, "server-ext-v1");
+        hash = fnv1aAppendScalar(hash, profile.serverCallChainDepth);
+        hash = fnv1aAppendScalar(hash, profile.serverDispatchCases);
+        hash = fnv1aAppendScalar(hash, profile.serverDispatchTrip);
+        hash = fnv1aAppendScalar(hash, profile.serverCodePaddingInsts);
+    }
     return hash;
 }
 
@@ -337,10 +432,21 @@ benchmarkSuite()
     return suite;
 }
 
+const std::vector<BenchmarkProfile> &
+serverSuite()
+{
+    static const std::vector<BenchmarkProfile> suite = makeServerSuite();
+    return suite;
+}
+
 const BenchmarkProfile &
 findProfile(const std::string &name)
 {
     for (const BenchmarkProfile &profile : benchmarkSuite()) {
+        if (profile.name == name)
+            return profile;
+    }
+    for (const BenchmarkProfile &profile : serverSuite()) {
         if (profile.name == name)
             return profile;
     }

@@ -47,6 +47,33 @@ stale=$(ls "$scratch/frags"/*.json)
 echo '{"schema": "tcsim-bench-fragment-v1", "truncated' \
     > "$scratch/frags/0123456789abcdef.json"
 
+echo "== truncated-mid-record fragment: --check and resume agree =="
+# A fragment truncated mid-record into VALID JSON (schema and unit
+# header intact, result record incomplete) under a REAL unit hash of
+# this matrix — e.g. a torn upload from a dying worker. Both the
+# launcher's --check worklist and the scheduler's resume scan must
+# reject it with the same validity predicate, and the scheduler must
+# heal the store object once the unit really completes.
+poison=$("$sweep" --list "${matrix[@]}" | awk 'NR==2 {print $2}')
+poison_id=$("$sweep" --list "${matrix[@]}" | awk 'NR==2 {print $3}')
+[ -n "$poison" ] || { echo "cannot list the matrix" >&2; exit 1; }
+printf '%s\n' "{\"schema\": \"tcsim-bench-fragment-v1\",
+  \"unit\": {\"index\": 0, \"id\": \"$poison_id\",
+             \"hash\": \"$poison\", \"benchmark\": \"compress\",
+             \"config\": \"baseline\", \"insts\": 20000,
+             \"warmup\": 5000},
+  \"result\": {\"benchmark\": \"compress\", \"config\": \"baseline\",
+               \"instructions\": 20000}}" \
+    > "$scratch/frags/$poison.json"
+if "$sweep" --check "${matrix[@]}" --fragments-dir "$scratch/frags" \
+        --missing-out "$scratch/missing.txt" > /dev/null 2>&1; then
+    echo "--check accepted a truncated-mid-record fragment" >&2
+    exit 1
+fi
+grep -q "^$poison\$" "$scratch/missing.txt" || {
+    echo "--check did not put the truncated unit on the retry" \
+         "worklist" >&2; exit 1; }
+
 echo "== scheduler + kill + straggler chaos =="
 "$sched" "${matrix[@]}" --fragments-dir "$scratch/frags" \
          --out "$scratch/sched.json" --port 0 \
@@ -84,6 +111,20 @@ wait
 
 echo "== merged document is byte-identical =="
 cmp "$scratch/single.json" "$scratch/sched.json"
+
+echo "== scheduler healed the poisoned store object =="
+# /complete must have overwritten the truncated fragment with the
+# verified payload (first-wins applies only to VALID duplicates):
+# post-run, no unit may land on the retry worklist. The pre-seeded
+# corrupt/stale garbage still trips --check's exit code by design,
+# so the assertion is on the worklist, not the exit status.
+"$sweep" --check "${matrix[@]}" --fragments-dir "$scratch/frags" \
+    --missing-out "$scratch/missing2.txt" > /dev/null 2>&1 || true
+if [ -s "$scratch/missing2.txt" ]; then
+    echo "store still rejects completed units after healing:" >&2
+    cat "$scratch/missing2.txt" >&2
+    exit 1
+fi
 
 echo "== re-dispatch fired and documents validate =="
 python3 "$validate" --sched-status "$scratch/status.json" \

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "memory/cache.h"
 #include "memory/dram.h"
 #include "obs/trace.h"
 #include "sim/processor.h"
@@ -161,6 +162,59 @@ TEST(Dram, StatsDumpAndReset)
     dram.dumpStats(fresh);
     EXPECT_DOUBLE_EQ(fresh.get("dram.reads"), 0.0);
     EXPECT_DOUBLE_EQ(fresh.get("dram.bus_wait_cycles"), 0.0);
+}
+
+// Regression: flush() used to count a writeback for every dirty line
+// dropped but never issue the victim's data below, so with
+// writebackToNext set the flush traffic vanished — dram.writes and
+// writeback_cycles silently dropped it. The flush must charge each
+// dirty victim exactly once, including the queueing delay it sees
+// when it races an in-flight fill on the contended bus, and a second
+// flush must add nothing (the lines are clean and gone).
+TEST(Dram, FlushChargesDirtyVictimsExactlyOnce)
+{
+    CacheParams cparams;
+    cparams.name = "l1d";
+    cparams.sizeBytes = 256; // 4 sets x 1 way of 64B lines
+    cparams.assoc = 1;
+    cparams.lineBytes = 64;
+    cparams.accessLatency = 0;
+    cparams.writebackToNext = true;
+
+    DramParams dparams;
+    dparams.contended = true;
+    dparams.busBytesPerCycle = 8; // 64B line -> 8 transfer cycles
+    dparams.banks = 0;            // unbanked: flat 50-cycle core
+    dparams.maxOutstanding = 0;
+    Dram dram(dparams);
+
+    Cache cache(cparams, nullptr);
+    cache.setBackingDram(&dram);
+
+    // Dirty two lines in different sets, far enough apart in time
+    // that the setup fills never queue.
+    cache.access(0x000, true, 0);
+    cache.access(0x040, true, 200);
+    EXPECT_EQ(cache.writebacks(), 0u);
+    EXPECT_EQ(cache.writebackCycles(), 0u);
+    EXPECT_EQ(dram.writes(), 0u);
+
+    // A demand fill is still occupying the bus (8 cycles from cycle
+    // 1000) when the flush issues at the same cycle: the first victim
+    // queues behind the fill, the second behind the first.
+    cache.access(0x080, false, 1000); // clean fill: must NOT write back
+    cache.flush(1000);
+    EXPECT_EQ(cache.writebacks(), 2u);
+    EXPECT_EQ(dram.writes(), 2u);
+    // First victim: 8 wait + 50 core + 8 transfer; second: 16 wait +
+    // 50 + 8. Dropping either charge or double-issuing breaks this.
+    EXPECT_EQ(cache.writebackCycles(), 66u + 74u);
+
+    // The flush invalidated everything: a second flush is free.
+    cache.flush(1000);
+    EXPECT_EQ(cache.writebacks(), 2u);
+    EXPECT_EQ(cache.writebackCycles(), 66u + 74u);
+    EXPECT_EQ(dram.writes(), 2u);
 }
 
 // Whole-system guard for the opt-in contract: a contended config with

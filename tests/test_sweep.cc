@@ -248,6 +248,95 @@ TEST_F(SweepMergeTest, SampledShardedMergeIsByteIdentical)
     EXPECT_EQ(*merged, single);
 }
 
+TEST_F(SweepMergeTest, ServerProfileShardedMergeIsByteIdentical)
+{
+    // Server-class profiles must hold the same determinism contract
+    // as the legacy suite: any shard layout (TCSIM_JOBS, --shard i/n,
+    // pulled workers) reproduces the single-process document byte for
+    // byte. Each unit is executed twice — as two independent workers
+    // would — and both the integers and the merged bytes must agree.
+    SweepOptions options;
+    options.benchmarks = {"server-oltp", "server-web"};
+    options.configs = {sim::baselineConfig(), sim::promotionConfig(64)};
+    options.insts = 8000;
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+    ASSERT_EQ(units.size(), 4u);
+
+    std::vector<ResultIntegers> integers;
+    for (const WorkUnit &unit : units) {
+        const ResultIntegers first = integersOf(executeUnit(unit));
+        const ResultIntegers second = integersOf(executeUnit(unit));
+        EXPECT_EQ(first.instructions, second.instructions) << unit.id;
+        EXPECT_EQ(first.cycles, second.cycles) << unit.id;
+        EXPECT_EQ(first.condMispredicts, second.condMispredicts)
+            << unit.id;
+        EXPECT_EQ(first.tcHits, second.tcHits) << unit.id;
+        EXPECT_EQ(first.icacheMisses, second.icacheMisses) << unit.id;
+        integers.push_back(first);
+    }
+    const std::string single = renderResultsDoc(units, integers);
+
+    // Fragments land in reverse order — worker completion order must
+    // not matter to the merged bytes.
+    for (std::size_t i = units.size(); i-- > 0;)
+        ASSERT_TRUE(writeFragment(dir_, units[i], integers[i],
+                                  UnitTiming{}));
+    MergeReport report;
+    const auto merged = mergeFragments(options, dir_, report);
+    ASSERT_TRUE(merged.has_value());
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(*merged, single);
+}
+
+TEST_F(SweepMergeTest, ReplayUnitsShardAndMergeByteIdentical)
+{
+    // The @replay dimension rides the same fragment pipeline: replay
+    // units are deterministic (the btrace artifact is recorded from
+    // the same oracle every time), their ids and hashes carry the
+    // replay marker, and a sharded merge reproduces the
+    // single-process document.
+    SweepOptions options;
+    options.benchmarks = {"compress", "server-oltp"};
+    options.configs = {sim::baselineConfig()};
+    options.insts = 8000;
+    options.replay = true;
+    const std::vector<WorkUnit> units = enumerateUnits(options);
+    ASSERT_EQ(units.size(), 2u);
+    EXPECT_EQ(units[0].id, "compress@baseline@8000@replay");
+
+    SweepOptions cycle_options = options;
+    cycle_options.replay = false;
+    const std::vector<WorkUnit> cycle = enumerateUnits(cycle_options);
+    for (std::size_t i = 0; i < units.size(); ++i)
+        EXPECT_NE(units[i].hash, cycle[i].hash);
+
+    std::vector<ResultIntegers> integers;
+    for (const WorkUnit &unit : units) {
+        const ResultIntegers first = executeUnitIntegers(unit);
+        const ResultIntegers second = executeUnitIntegers(unit);
+        EXPECT_EQ(first.instructions, second.instructions) << unit.id;
+        EXPECT_EQ(first.condMispredicts, second.condMispredicts)
+            << unit.id;
+        EXPECT_EQ(first.tcLookups, second.tcLookups) << unit.id;
+        EXPECT_EQ(first.tcHits, second.tcHits) << unit.id;
+        EXPECT_EQ(first.icacheMisses, second.icacheMisses) << unit.id;
+        // Replay drives the front end only: no pipeline cycles.
+        EXPECT_EQ(first.cycles, 0u) << unit.id;
+        EXPECT_EQ(first.instructions, options.insts) << unit.id;
+        integers.push_back(first);
+    }
+    const std::string single = renderResultsDoc(units, integers);
+
+    for (std::size_t i = 0; i < units.size(); ++i)
+        ASSERT_TRUE(writeFragment(dir_, units[i], integers[i],
+                                  UnitTiming{}));
+    MergeReport report;
+    const auto merged = mergeFragments(options, dir_, report);
+    ASSERT_TRUE(merged.has_value());
+    EXPECT_TRUE(report.complete());
+    EXPECT_EQ(*merged, single);
+}
+
 TEST_F(SweepMergeTest, ExecuteUnitIsDeterministic)
 {
     const std::vector<WorkUnit> units = enumerateUnits(smallMatrix());

@@ -13,6 +13,9 @@
  *   --warmup <n>          predictor warm-up instructions
  *   --sampled-interval n  sampled execution: BBV interval length
  *   --sampled-max-k k     sampled execution: k-means cluster cap
+ *   --replay              drive each unit's front end from a cached
+ *                         tcsim-btrace-v1 recording instead of cycle
+ *                         simulation (excludes --warmup/sampled)
  *   --insts-for sel=n[,sel=n...]
  *                         per-unit budget overrides; sel is
  *                         "benchmark" or "benchmark@config" (the cell
@@ -81,6 +84,8 @@ class MatrixArgs
             options.sampled.enabled = true;
             options.sampled.maxK = static_cast<std::uint32_t>(
                 std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--replay") {
+            options.replay = true;
         } else if (arg == "--insts-for") {
             if (!addInstsFor(next()))
                 bad_ = true;
@@ -105,6 +110,13 @@ class MatrixArgs
             std::fprintf(stderr,
                          "--sampled-interval and --sampled-max-k must "
                          "be given together\n");
+            return false;
+        }
+        if (options.replay &&
+            (options.sampled.enabled || options.warmup != 0)) {
+            std::fprintf(stderr,
+                         "--replay cannot combine with --warmup or "
+                         "sampled execution\n");
             return false;
         }
         for (const std::string &name : configNames_) {

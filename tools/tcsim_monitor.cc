@@ -61,7 +61,7 @@ usage(const char *argv0)
                  "usage: %s --fragments-dir d [--benchmarks a,b] "
                  "[--configs x,y]\n"
                  "  [--insts n] [--warmup n] "
-                 "[--sampled-interval n --sampled-max-k k]\n"
+                 "[--sampled-interval n --sampled-max-k k] [--replay]\n"
                  "  [--interval sec] [--stale-after sec] "
                  "[--straggler-k f] [--min-median-samples n]\n"
                  "  [--status-out f] [--serve [addr:]port] [--once] "
@@ -147,6 +147,8 @@ main(int argc, char **argv)
             options.sampled.enabled = true;
             options.sampled.maxK = static_cast<std::uint32_t>(
                 std::strtoul(next(), nullptr, 10));
+        } else if (arg == "--replay") {
+            options.replay = true;
         } else if (arg == "--interval") {
             interval_seconds = std::strtod(next(), nullptr);
         } else if (arg == "--stale-after") {

@@ -18,6 +18,15 @@
  *     --histogram           print the fetch-width histogram
  *     --stats               print the full statistics dump
  *
+ *   Branch/fetch trace record & replay (tcsim-btrace-v1):
+ *     --record-trace <file> run the control-flow pass through the
+ *                           oracle, write every retired control
+ *                           transfer to <file>, print btrace stats
+ *     --replay-trace <file> drive the front end (icache, trace cache,
+ *                           fill unit, predictors) directly from
+ *                           <file>; prints a byte-identical stats
+ *                           block to the recording run
+ *
  *   Memory model (contended DRAM backstop; default is the flat
  *   50-cycle latency):
  *     --mem-contended       enable the bus/bank-contended DRAM model
@@ -57,10 +66,12 @@
 #include <sstream>
 #include <string>
 
+#include "common/fnv.h"
 #include "obs/intervals.h"
 #include "obs/profiler.h"
 #include "obs/trace.h"
 #include "sim/processor.h"
+#include "workload/btrace.h"
 #include "workload/characterize.h"
 #include "workload/generator.h"
 #include "workload/profile.h"
@@ -79,6 +90,7 @@ usage(const char *argv0)
                  "[--disambiguation <d>] [--path-assoc] "
                  "[--no-partial-match] [--no-inactive-issue] "
                  "[--static-promotion] [--histogram] [--stats] "
+                 "[--record-trace <file>] [--replay-trace <file>] "
                  "[--mem-contended] [--mem-latency <n>] "
                  "[--mem-bus-bytes <n>] [--mem-banks <n>] "
                  "[--mem-row-bytes <n>] [--mem-row-hit <n>] "
@@ -129,6 +141,7 @@ main(int argc, char **argv)
     std::uint64_t interval_insts = 0;
     bool profile = false;
     bool mem_contended = false;
+    std::string record_trace, replay_trace;
     memory::DramParams dram;
 
     for (int i = 1; i < argc; ++i) {
@@ -190,6 +203,10 @@ main(int argc, char **argv)
             intervals_out = value();
         else if (arg == "--profile")
             profile = true;
+        else if (arg == "--record-trace")
+            record_trace = value();
+        else if (arg == "--replay-trace")
+            replay_trace = value();
         else if (arg == "--mem-contended")
             mem_contended = true;
         else if (arg == "--mem-latency")
@@ -219,6 +236,8 @@ main(int argc, char **argv)
 
     if (bench == "list") {
         for (const auto &bench_profile : workload::benchmarkSuite())
+            std::printf("%s\n", bench_profile.name.c_str());
+        for (const auto &bench_profile : workload::serverSuite())
             std::printf("%s\n", bench_profile.name.c_str());
         return 0;
     }
@@ -254,8 +273,9 @@ main(int argc, char **argv)
     if (mem_contended)
         config = sim::withContendedMemory(std::move(config), dram);
 
-    workload::Program program =
-        workload::generateProgram(workload::findProfile(bench));
+    const workload::BenchmarkProfile &bench_profile =
+        workload::findProfile(bench);
+    workload::Program program = workload::generateProgram(bench_profile);
     if (static_promotion) {
         config.fillUnit.staticPromotion = true;
         config.fillUnit.staticPromotions =
@@ -263,6 +283,68 @@ main(int argc, char **argv)
     }
 
     sim::Processor processor(config, program);
+
+    if (!record_trace.empty() && !replay_trace.empty())
+        fatal("--record-trace and --replay-trace are mutually exclusive");
+    if (!record_trace.empty() || !replay_trace.empty()) {
+        sim::Processor::ControlFlowResult cf;
+        if (!record_trace.empty()) {
+            workload::BtraceWriter writer(
+                record_trace, workload::kGeneratorVersion,
+                workload::profileFingerprint(bench_profile),
+                program.entry());
+            cf = processor.recordTrace(writer, insts);
+        } else {
+            workload::BtraceReader reader;
+            std::string error;
+            if (!reader.open(replay_trace, &error)) {
+                fatal("cannot replay '%s': %s", replay_trace.c_str(),
+                      error.c_str());
+            }
+            if (reader.header().generatorVersion !=
+                    workload::kGeneratorVersion ||
+                reader.header().profileFingerprint !=
+                    workload::profileFingerprint(bench_profile)) {
+                fatal("btrace '%s' was recorded from a different "
+                      "program than --bench %s (generator version or "
+                      "profile fingerprint mismatch)",
+                      replay_trace.c_str(), bench.c_str());
+            }
+            cf = processor.replayTrace(reader);
+        }
+        // One deterministic block, identical between the recording run
+        // and its replay, so round trips can be checked with cmp.
+        std::printf("btrace-stats %s %s\n", bench.c_str(),
+                    config_name.c_str());
+        std::printf("  instructions     %llu\n",
+                    static_cast<unsigned long long>(cf.instructions));
+        std::printf("  records          %llu\n",
+                    static_cast<unsigned long long>(cf.records));
+        std::printf("  cond branches    %llu  (mispredicts %llu)\n",
+                    static_cast<unsigned long long>(cf.condBranches),
+                    static_cast<unsigned long long>(cf.condMispredicts));
+        std::printf("  returns          %llu  (mispredicts %llu)\n",
+                    static_cast<unsigned long long>(cf.returns),
+                    static_cast<unsigned long long>(cf.returnMispredicts));
+        std::printf(
+            "  indirect jumps   %llu  (mispredicts %llu)\n",
+            static_cast<unsigned long long>(cf.indirectJumps),
+            static_cast<unsigned long long>(cf.indirectMispredicts));
+        std::printf("  traps            %llu\n",
+                    static_cast<unsigned long long>(cf.traps));
+        std::printf("  icache accesses  %llu  (misses %llu)\n",
+                    static_cast<unsigned long long>(cf.icacheAccesses),
+                    static_cast<unsigned long long>(cf.icacheMisses));
+        std::printf("  tc lookups       %llu  (hits %llu)\n",
+                    static_cast<unsigned long long>(cf.tcLookups),
+                    static_cast<unsigned long long>(cf.tcHits));
+        std::printf("  outcome hash     %s\n",
+                    hashHex(cf.outcomeHash).c_str());
+        std::printf("  final history    %s\n",
+                    hashHex(cf.finalHistory).c_str());
+        std::printf("  halted           %d\n", cf.halted ? 1 : 0);
+        return 0;
+    }
 
     obs::Tracer tracer;
     if (!trace_cats.empty()) {

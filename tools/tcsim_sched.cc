@@ -85,7 +85,7 @@ usage(const char *argv0)
                  "[--manifest-out f] [--max-seconds sec]\n"
                  "  [matrix flags: --benchmarks --configs --insts "
                  "--warmup --insts-for\n"
-                 "   --sampled-interval --sampled-max-k]\n",
+                 "   --sampled-interval --sampled-max-k --replay]\n",
                  argv0);
     std::exit(1);
 }
@@ -332,7 +332,22 @@ main(int argc, char **argv)
                 return jsonReply(404, "{\"result\": \"unknown\"}\n");
             // Persist for crash-safe resume. First-wins: a straggler
             // duplicate (same content-hashed name) is a no-op here.
-            store.put(frag.hash + ".json", request.body);
+            // Exception: an already-stored object that fails the
+            // shared fragment-validity predicate (e.g. a fragment a
+            // dying worker truncated mid-record into valid-but-
+            // incomplete JSON) is overwritten with the verified
+            // payload — first-wins would pin the poison forever, and
+            // --check/--merge/resume all reject what this scheduler
+            // just counted done.
+            const std::string object_name = frag.hash + ".json";
+            bool heal = false;
+            if (const std::optional<std::string> existing =
+                    store.get(object_name)) {
+                bench::FragmentData stored;
+                heal = !bench::parseFragmentBytes(*existing, stored) ||
+                       stored.hash != frag.hash;
+            }
+            store.put(object_name, request.body, heal);
             return jsonReply(
                 200,
                 status == bench::Scheduler::CompleteStatus::Accepted

@@ -65,6 +65,16 @@
  *                        k-means cluster-count cap. Both must be given
  *                        together; they add a "@sampled-..." suffix to
  *                        every unit id and fold into the unit hashes.
+ *   --replay             drive each unit's front end from a recorded
+ *                        tcsim-btrace-v1 control-flow trace instead of
+ *                        cycle simulation. The trace is recorded once
+ *                        per (benchmark, insts) and cached as a
+ *                        "btrace" artifact shared by every config;
+ *                        unit ids gain an "@replay" suffix and hashes
+ *                        fold the btrace format version. Only
+ *                        front-end stats (mispredicts, trace-cache and
+ *                        icache activity) are meaningful; cycles stay
+ *                        zero. Excludes --warmup and sampled mode.
  *
  * Sampling-error report (single-process only):
  *   --error-out <file>   run the matrix both sampled and full, write
@@ -155,7 +165,7 @@ usage(const char *argv0)
                  "[--benchmarks a,b] [--configs x,y]\n"
                  "  [--insts n] [--insts-for sel=n] [--warmup n] "
                  "[--cache-dir d] [--no-cache]\n"
-                 "  [--sampled-interval n --sampled-max-k k]\n"
+                 "  [--sampled-interval n --sampled-max-k k] [--replay]\n"
                  "  [--error-out f] [--error-tolerance f] "
                  "[--mispredict-tolerance f]\n"
                  "  [--heartbeat sec] [--status-out f] "

@@ -14,6 +14,7 @@ Checks any combination of:
   --heartbeat PATH     tcsim-heartbeat-v1 sweep-worker heartbeat
   --farm-status PATH   tcsim-farm-status-v1 monitor snapshot
   --regression PATH    tcsim-regression-v1 perf-gate verdict
+  --btrace PATH        tcsim-btrace-v1 binary branch/fetch trace
 
 Exits 0 when every named file validates, 1 otherwise.
 """
@@ -674,6 +675,57 @@ def validate_regression(path):
     return True
 
 
+BTRACE_MAGIC = b"TCBTRC01"
+BTRACE_HEADER_BYTES = 64
+BTRACE_RECORD_BYTES = 16
+BTRACE_FORMAT_VERSION = 1
+BTRACE_CLASSES = 7  # Cond..Halt
+
+
+def fnv1a(data):
+    h = 0xCBF29CE484222325
+    for byte in data:
+        h = ((h ^ byte) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def validate_btrace(path):
+    import struct
+    try:
+        with open(path, "rb") as f:
+            blob = f.read()
+    except OSError as e:
+        return fail(path, str(e))
+    if len(blob) < BTRACE_HEADER_BYTES:
+        return fail(path, "shorter than the btrace header")
+    if blob[:8] != BTRACE_MAGIC:
+        return fail(path, "bad btrace magic")
+    (fmt, gen, fingerprint, entry_pc, inst_count, record_count,
+     records_fnv, header_fnv) = struct.unpack_from("<IIQQQQQQ", blob, 8)
+    if fnv1a(blob[:56]) != header_fnv:
+        return fail(path, "header checksum mismatch")
+    if fmt != BTRACE_FORMAT_VERSION:
+        return fail(path, f"unsupported format version {fmt}")
+    expected = BTRACE_HEADER_BYTES + BTRACE_RECORD_BYTES * record_count
+    if len(blob) != expected:
+        return fail(path, f"size {len(blob)} does not match "
+                          f"record count {record_count}")
+    if fnv1a(blob[BTRACE_HEADER_BYTES:]) != records_fnv:
+        return fail(path, "record checksum mismatch")
+    if record_count > inst_count:
+        return fail(path, "more records than instructions covered")
+    for i in range(record_count):
+        word0 = struct.unpack_from(
+            "<Q", blob, BTRACE_HEADER_BYTES + BTRACE_RECORD_BYTES * i)[0]
+        cls = (word0 >> 48) & 0xF
+        if cls >= BTRACE_CLASSES:
+            return fail(path, f"record {i}: unknown class {cls}")
+    print(f"validate_obs: {path}: OK (btrace v{fmt}, generator v{gen}, "
+          f"{record_count} records over {inst_count} insts, "
+          f"entry=0x{entry_pc:x}, fingerprint=0x{fingerprint:016x})")
+    return True
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--trace-jsonl", action="append", default=[])
@@ -690,12 +742,13 @@ def main():
     parser.add_argument("--sched-status", action="append", default=[])
     parser.add_argument("--store-manifest", action="append", default=[])
     parser.add_argument("--partial", action="append", default=[])
+    parser.add_argument("--btrace", action="append", default=[])
     args = parser.parse_args()
     if not (args.trace_jsonl or args.chrome or args.intervals
             or args.fragment or args.results or args.bbv
             or args.simpoints or args.error_report or args.heartbeat
             or args.farm_status or args.regression or args.sched_status
-            or args.store_manifest or args.partial):
+            or args.store_manifest or args.partial or args.btrace):
         parser.error("nothing to validate")
     ok = True
     for path in args.trace_jsonl:
@@ -726,6 +779,8 @@ def main():
         ok &= validate_store_manifest(path)
     for path in args.partial:
         ok &= validate_partial(path)
+    for path in args.btrace:
+        ok &= validate_btrace(path)
     return 0 if ok else 1
 
 
